@@ -1,0 +1,245 @@
+package valuepred
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"valuepred/internal/emu"
+	"valuepred/internal/workload"
+)
+
+// The benchmark harness regenerates every table and figure of the paper
+// (plus the ablations) under `go test -bench=.`. Each figure benchmark
+// renders its table once to stdout — running the full benchmark suite
+// therefore reproduces the paper's evaluation section — and reports the
+// average-row series as custom metrics so changes in the reproduced shape
+// are visible in benchmark diffs.
+
+// benchTraceLen balances statistical stability against suite runtime.
+const benchTraceLen = 100_000
+
+var printed sync.Map
+
+func benchParams() Params {
+	p := DefaultParams()
+	p.TraceLen = benchTraceLen
+	return p
+}
+
+// metricName turns a column header into a benchmark metric suffix.
+func metricName(col, unit string) string {
+	col = strings.ReplaceAll(col, " ", "_")
+	col = strings.ReplaceAll(col, "=", "")
+	if unit != "" && !strings.Contains(col, "%") {
+		col += "_" + unit
+	}
+	return col
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	var tab *Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = RunExperiment(id, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if avg, ok := tab.Row("average"); ok {
+		for i, col := range tab.Columns {
+			if i < len(avg.Cells) {
+				b.ReportMetric(avg.Cells[i], metricName(col, tab.Unit))
+			}
+		}
+	}
+	if _, dup := printed.LoadOrStore(id, true); !dup {
+		fmt.Fprintln(os.Stdout)
+		if err := tab.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+// BenchmarkTable31 regenerates Table 3.1 (the benchmark inventory).
+func BenchmarkTable31(b *testing.B) { benchExperiment(b, "table3.1") }
+
+// BenchmarkTable32 regenerates the Table 3.2 pipeline walk-through.
+func BenchmarkTable32(b *testing.B) { benchExperiment(b, "table3.2") }
+
+// BenchmarkFig31 regenerates Figure 3.1: VP speedup vs fetch width on the
+// ideal machine.
+func BenchmarkFig31(b *testing.B) { benchExperiment(b, "fig3.1") }
+
+// BenchmarkFig33 regenerates Figure 3.3: average DID per benchmark.
+func BenchmarkFig33(b *testing.B) { benchExperiment(b, "fig3.3") }
+
+// BenchmarkFig34 regenerates Figure 3.4: DID distribution histograms.
+func BenchmarkFig34(b *testing.B) { benchExperiment(b, "fig3.4") }
+
+// BenchmarkFig35 regenerates Figure 3.5: dependencies by predictability and
+// DID.
+func BenchmarkFig35(b *testing.B) { benchExperiment(b, "fig3.5") }
+
+// BenchmarkFig51 regenerates Figure 5.1: realistic machine, ideal BTB.
+func BenchmarkFig51(b *testing.B) { benchExperiment(b, "fig5.1") }
+
+// BenchmarkFig52 regenerates Figure 5.2: realistic machine, 2-level BTB.
+func BenchmarkFig52(b *testing.B) { benchExperiment(b, "fig5.2") }
+
+// BenchmarkFig53 regenerates Figure 5.3: trace-cache machine with the
+// banked prediction network.
+func BenchmarkFig53(b *testing.B) { benchExperiment(b, "fig5.3") }
+
+// BenchmarkSec4Router regenerates the Section 4 router/distributor
+// statistics.
+func BenchmarkSec4Router(b *testing.B) { benchExperiment(b, "sec4") }
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationBanks sweeps the prediction-table bank count.
+func BenchmarkAblationBanks(b *testing.B) { benchExperiment(b, "ablation.banks") }
+
+// BenchmarkAblationHybrid compares stride vs hybrid+hints in the network.
+func BenchmarkAblationHybrid(b *testing.B) { benchExperiment(b, "ablation.hybrid") }
+
+// BenchmarkAblationWindow compares scheduling-window vs ROB semantics.
+func BenchmarkAblationWindow(b *testing.B) { benchExperiment(b, "ablation.window") }
+
+// BenchmarkAblationVPenalty sweeps the value-misprediction penalty.
+func BenchmarkAblationVPenalty(b *testing.B) { benchExperiment(b, "ablation.vpenalty") }
+
+// --- micro-benchmarks of the simulation substrate ---
+
+var (
+	benchTraces   = map[string][]Rec{}
+	benchTracesMu sync.Mutex
+)
+
+func benchTrace(b *testing.B, name string) []Rec {
+	b.Helper()
+	benchTracesMu.Lock()
+	defer benchTracesMu.Unlock()
+	if recs, ok := benchTraces[name]; ok {
+		return recs
+	}
+	recs, err := Trace(name, 1, benchTraceLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[name] = recs
+	return recs
+}
+
+// BenchmarkEmulator measures raw functional-simulation speed.
+func BenchmarkEmulator(b *testing.B) {
+	spec, _ := workload.Get("compress95")
+	prog, err := spec.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog)
+		recs := m.Run(benchTraceLen)
+		insts += uint64(len(recs))
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkStridePredictor measures lookup+update throughput.
+func BenchmarkStridePredictor(b *testing.B) {
+	recs := benchTrace(b, "vortex")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluatePredictor(NewClassifiedStridePredictor(), recs)
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkDIDAnalysis measures dataflow-graph analysis throughput.
+func BenchmarkDIDAnalysis(b *testing.B) {
+	recs := benchTrace(b, "gcc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeDID(recs, true)
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkIdealMachine measures the Section 3 model's simulation speed.
+func BenchmarkIdealMachine(b *testing.B) {
+	recs := benchTrace(b, "m88ksim")
+	cfg := NewIdealConfig(16)
+	cfg.Predictor = NewClassifiedStridePredictor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Predictor = NewClassifiedStridePredictor()
+		if _, err := RunIdeal(recs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkPipeline measures the Section 5 machine's simulation speed with
+// the trace cache and the prediction network.
+func BenchmarkPipeline(b *testing.B) {
+	recs := benchTrace(b, "perl")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := NewNetwork(NewNetworkConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := NewMachineConfig()
+		cfg.Network = net
+		if _, err := RunMachine(NewTraceCacheFetch(recs, NewTwoLevelBTB(), NewTraceCacheConfig()), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkAblationPredictor compares value-predictor organisations.
+func BenchmarkAblationPredictor(b *testing.B) { benchExperiment(b, "ablation.predictor") }
+
+// BenchmarkAblationBTB sweeps BTB quality (Section 5 sensitivity claim).
+func BenchmarkAblationBTB(b *testing.B) { benchExperiment(b, "ablation.btb") }
+
+// BenchmarkAblationFetchMech compares the Section 2.2 fetch mechanisms.
+func BenchmarkAblationFetchMech(b *testing.B) { benchExperiment(b, "ablation.fetchmech") }
+
+// BenchmarkAblationLipasti compares loads-only vs all-instruction VP.
+func BenchmarkAblationLipasti(b *testing.B) { benchExperiment(b, "ablation.lipasti") }
+
+// BenchmarkAblationTwoDelta compares stride update policies.
+func BenchmarkAblationTwoDelta(b *testing.B) { benchExperiment(b, "ablation.twodelta") }
+
+// BenchmarkDiagStalls regenerates the stall-breakdown diagnostic.
+func BenchmarkDiagStalls(b *testing.B) { benchExperiment(b, "diag.stalls") }
+
+// BenchmarkDiagClasses regenerates the per-class predictability diagnostic.
+func BenchmarkDiagClasses(b *testing.B) { benchExperiment(b, "diag.classes") }
+
+// BenchmarkAblationVPTable sweeps finite prediction-table sizes.
+func BenchmarkAblationVPTable(b *testing.B) { benchExperiment(b, "ablation.vptable") }
+
+// BenchmarkDiagMemDeps quantifies the store-to-load dependence effect.
+func BenchmarkDiagMemDeps(b *testing.B) { benchExperiment(b, "diag.memdeps") }
+
+// BenchmarkDiagUseless quantifies the useless-prediction fraction by width.
+func BenchmarkDiagUseless(b *testing.B) { benchExperiment(b, "diag.useless") }
+
+// BenchmarkAblationPartial measures trace-cache partial matching [6].
+func BenchmarkAblationPartial(b *testing.B) { benchExperiment(b, "ablation.partial") }
+
+// BenchmarkAblationLatency sweeps load latency (VP hides it).
+func BenchmarkAblationLatency(b *testing.B) { benchExperiment(b, "ablation.latency") }

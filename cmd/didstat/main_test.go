@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleWorkload(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "compress95", "-len", "20000"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"compress95", "average DID", "DID >= 4", ">=32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllWorkloadsWithMem(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-len", "5000", "-mem"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"go", "m88ksim", "vortex"} {
+		if !strings.Contains(out.String(), name+"  (") {
+			t.Errorf("missing section for %s", name)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-workload", "nonesuch", "-len", "100"}, &out, &errb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

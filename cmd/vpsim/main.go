@@ -1,0 +1,115 @@
+// Command vpsim regenerates any table or figure of the paper's evaluation.
+//
+// Usage:
+//
+//	vpsim -list
+//	vpsim -experiment fig3.1 [-seed 1] [-len 200000] [-workloads go,gcc] [-csv] [-o out.txt]
+//	vpsim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"valuepred"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list      = fs.Bool("list", false, "list the available experiments and exit")
+		id        = fs.String("experiment", "", "experiment id to run (see -list)")
+		all       = fs.Bool("all", false, "run every experiment")
+		seed      = fs.Int64("seed", 1, "workload input seed")
+		seeds     = fs.Int("seeds", 1, "average the experiment over this many consecutive seeds")
+		traceLen  = fs.Int("len", 200_000, "dynamic instructions per benchmark")
+		workloads = fs.String("workloads", "", "comma-separated benchmark subset (default all)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
+		md        = fs.Bool("md", false, "emit a Markdown table")
+		chart     = fs.Bool("chart", false, "emit an ASCII bar chart")
+		outPath   = fs.String("o", "", "write output to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range valuepred.Experiments() {
+			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+	if !*all && *id == "" {
+		fs.Usage()
+		return fmt.Errorf("need -experiment <id>, -all or -list")
+	}
+
+	p := valuepred.DefaultParams()
+	p.Seed = *seed
+	p.TraceLen = *traceLen
+	if *workloads != "" {
+		p.Workloads = strings.Split(*workloads, ",")
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	ids := []string{*id}
+	if *all {
+		ids = nil
+		for _, e := range valuepred.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for i, one := range ids {
+		var t *valuepred.Table
+		var err error
+		if *seeds > 1 {
+			list := make([]int64, *seeds)
+			for j := range list {
+				list[j] = *seed + int64(j)
+			}
+			t, err = valuepred.RunExperimentSeeds(one, p, list)
+		} else {
+			t, err = valuepred.RunExperiment(one, p)
+		}
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		switch {
+		case *csv:
+			err = t.RenderCSV(out)
+		case *md:
+			err = t.RenderMarkdown(out)
+		case *chart:
+			err = t.RenderChart(out)
+		default:
+			err = t.Render(out)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3.1", "fig5.3", "table3.2", "ablation.banks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentText(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.4", "-len", "8000", "-workloads", "perl"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3.4") || !strings.Contains(out.String(), "perl") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentCSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.3", "-len", "8000", "-workloads", "go", "-csv", "-o", path}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "benchmark,") {
+		t.Errorf("csv output:\n%s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"-experiment", "nonesuch", "-len", "100"}, &out, &errb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunExperimentMarkdown(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.5", "-len", "8000", "-workloads", "li", "-md"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| li |") {
+		t.Errorf("markdown output:\n%s", out.String())
+	}
+}
+
+func TestMultiSeedAveraging(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.3", "-len", "8000", "-workloads", "go", "-seeds", "2"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "averaged over 2 seeds") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentChart(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.4", "-len", "8000", "-workloads", "go", "-chart"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") || !strings.Contains(out.String(), "go") {
+		t.Errorf("chart output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,92 @@
+// Command vptrace generates, stores, inspects and replays workload traces
+// in the binary VPT1 format (the repository's stand-in for Shade trace
+// files).
+//
+// Usage:
+//
+//	vptrace -workload compress95 -len 1000000 -o compress.vpt   # record
+//	vptrace -decode compress.vpt -dump 20                       # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"valuepred/internal/trace"
+	"valuepred/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vptrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("workload", "", "benchmark to trace")
+		seed     = fs.Int64("seed", 1, "workload input seed")
+		traceLen = fs.Int("len", 200_000, "dynamic instructions to trace")
+		outPath  = fs.String("o", "", "output file for the binary trace")
+		decode   = fs.String("decode", "", "decode a binary trace file instead of recording")
+		dump     = fs.Int("dump", 0, "print the first N records")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *decode != "":
+		f, err := os.Open(*decode)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := trace.NewReader(f)
+		recs := trace.Collect(r, 0)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		report(stdout, recs, *dump)
+		return nil
+	case *name != "":
+		recs, err := workload.Trace(*name, *seed, *traceLen)
+		if err != nil {
+			return err
+		}
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w := trace.NewWriter(f)
+			for _, rec := range recs {
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d records to %s\n", w.Count(), *outPath)
+		}
+		report(stdout, recs, *dump)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -workload <name> or -decode <file>")
+	}
+}
+
+func report(w io.Writer, recs []trace.Rec, dump int) {
+	fmt.Fprintln(w, trace.Summarize(recs))
+	for i := 0; i < dump && i < len(recs); i++ {
+		fmt.Fprintln(w, recs[i])
+	}
+}

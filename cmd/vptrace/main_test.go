@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndDecodeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.vpt")
+	var out, errb strings.Builder
+	err := run([]string{"-workload", "perl", "-len", "5000", "-o", path, "-dump", "3"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 5000 records") {
+		t.Errorf("record output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "insts=5000") {
+		t.Errorf("missing summary:\n%s", out.String())
+	}
+
+	var out2 strings.Builder
+	if err := run([]string{"-decode", path, "-dump", "2"}, &out2, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "insts=5000") {
+		t.Errorf("decode output:\n%s", out2.String())
+	}
+	// The dumped records carry disassembly.
+	if !strings.Contains(out2.String(), "#0") {
+		t.Errorf("dump missing records:\n%s", out2.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-workload", "nonesuch"}, &out, &errb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-decode", "/nonexistent/file.vpt"}, &out, &errb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package valuepred_test
+
+import (
+	"fmt"
+
+	"valuepred"
+)
+
+// The examples below are verified by `go test`: their output is pinned, so
+// they double as regression tests for the public API's determinism.
+
+func ExampleBenchmarks() {
+	for _, b := range valuepred.Benchmarks()[:3] {
+		fmt.Printf("%s: %s\n", b.Name, b.Description)
+	}
+	// Output:
+	// go: Game playing.
+	// m88ksim: A simulator for the 88100 processor.
+	// gcc: A GNU C compiler version 2.5.3.
+}
+
+func ExampleEvaluatePredictor() {
+	// A stride predictor is exact on arithmetic sequences after warmup.
+	recs, err := valuepred.Trace("m88ksim", 1, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("records:", len(recs))
+	p := valuepred.NewStridePredictor()
+	for _, v := range []uint64{10, 20, 30} {
+		p.Update(0x1000, v)
+	}
+	pred := p.Lookup(0x1000)
+	fmt.Printf("next value: %d (confident: %v)\n", pred.Value, pred.Confident)
+	// Output:
+	// records: 10
+	// next value: 40 (confident: true)
+}
+
+func ExampleAnalyzeDID() {
+	recs, err := valuepred.Trace("compress95", 1, 50_000)
+	if err != nil {
+		panic(err)
+	}
+	a := valuepred.AnalyzeDID(recs, false)
+	fmt.Printf("avg DID exceeds a 4-wide fetch engine: %v\n", a.AvgDID() > 4)
+	fmt.Printf("some dependencies span >= 4 instructions: %v\n", a.FracDIDAtLeast4() > 0.2)
+	// Output:
+	// avg DID exceeds a 4-wide fetch engine: true
+	// some dependencies span >= 4 instructions: true
+}
+
+func ExampleRunIdeal() {
+	recs, err := valuepred.Trace("vortex", 1, 60_000)
+	if err != nil {
+		panic(err)
+	}
+	speedupAt := func(width int) float64 {
+		base, err := valuepred.RunIdeal(recs, valuepred.NewIdealConfig(width))
+		if err != nil {
+			panic(err)
+		}
+		cfg := valuepred.NewIdealConfig(width)
+		cfg.Predictor = valuepred.NewClassifiedStridePredictor()
+		vp, err := valuepred.RunIdeal(recs, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return valuepred.IdealSpeedup(base, vp)
+	}
+	// The paper's central claim: wider fetch makes value prediction pay.
+	fmt.Println("wider fetch pays more:", speedupAt(16) > speedupAt(4)+10)
+	// Output:
+	// wider fetch pays more: true
+}
+
+func ExampleRunExperiment() {
+	p := valuepred.DefaultParams()
+	p.TraceLen = 5_000
+	p.Workloads = []string{"perl"}
+	t, err := valuepred.RunExperiment("table3.1", p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(t.Rows[0].Label)
+	fmt.Println(t.Notes[0])
+	// Output:
+	// perl
+	// perl: Anagram search program.
+}

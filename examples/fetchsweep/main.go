@@ -1,0 +1,70 @@
+// Fetchsweep: regenerate Figure 5.1 and Figure 5.2 style sweeps on the
+// realistic machine — value-prediction speedup as a function of how many
+// taken branches the fetch unit can cross per cycle, under a perfect and a
+// 2-level PAp branch predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"valuepred"
+)
+
+func main() {
+	workloads := []string{"m88ksim", "compress95", "vortex"}
+	limits := []int{1, 2, 3, 4, -1}
+
+	for _, mkName := range []string{"ideal BTB", "2-level BTB"} {
+		fmt.Printf("== %s ==\n", mkName)
+		for _, name := range workloads {
+			recs, err := valuepred.Trace(name, 1, 120_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-11s", name)
+			for _, n := range limits {
+				bp := valuepred.NewPerfectBTB()
+				if mkName != "ideal BTB" {
+					bp = valuepred.NewTwoLevelBTB()
+				}
+				base, err := valuepred.RunMachine(
+					valuepred.NewSequentialFetch(recs, bp, n), valuepred.NewMachineConfig())
+				if err != nil {
+					log.Fatal(err)
+				}
+				bp2 := valuepred.NewPerfectBTB()
+				if mkName != "ideal BTB" {
+					bp2 = valuepred.NewTwoLevelBTB()
+				}
+				cfg := valuepred.NewMachineConfig()
+				cfg.Predictor = valuepred.NewClassifiedStridePredictor()
+				vp, err := valuepred.RunMachine(
+					valuepred.NewSequentialFetch(recs, bp2, n), cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				label := fmt.Sprintf("n=%d", n)
+				if n < 0 {
+					label = "unl"
+				}
+				fmt.Printf("  %s:%6.1f%%", label, valuepred.MachineSpeedup(base, vp))
+			}
+			fmt.Println()
+		}
+	}
+
+	// The full figures, through the experiment runner:
+	p := valuepred.DefaultParams()
+	p.TraceLen = 80_000
+	p.Workloads = workloads
+	t, err := valuepred.RunExperiment("fig5.1", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: trace one workload, measure value-predictor accuracy, and
+// show the paper's headline effect — value prediction pays off only when
+// the fetch bandwidth is high.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valuepred"
+)
+
+func main() {
+	// 1. Generate a dynamic trace of the LZW-compression workload.
+	recs, err := valuepred.Trace("compress95", 1, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trace:", valuepred.Summarize(recs))
+
+	// 2. How predictable are its values?
+	for _, p := range []valuepred.Predictor{
+		valuepred.NewLastValuePredictor(),
+		valuepred.NewStridePredictor(),
+		valuepred.NewClassifiedStridePredictor(),
+	} {
+		acc := valuepred.EvaluatePredictor(p, recs)
+		fmt.Printf("%-14s %s\n", p.Name(), acc)
+	}
+
+	// 3. How far apart are producers and consumers (Section 3.3)?
+	a := valuepred.AnalyzeDID(recs, false)
+	fmt.Printf("dataflow: avg DID %.1f, %.0f%% of dependencies span >= 4 instructions\n",
+		a.AvgDID(), 100*a.FracDIDAtLeast4())
+
+	// 4. The paper's headline: sweep the ideal machine's fetch width.
+	fmt.Println("\nideal-machine speedup from value prediction:")
+	for _, width := range []int{4, 8, 16, 32, 40} {
+		base, err := valuepred.RunIdeal(recs, valuepred.NewIdealConfig(width))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := valuepred.NewIdealConfig(width)
+		cfg.Predictor = valuepred.NewClassifiedStridePredictor()
+		vp, err := valuepred.RunIdeal(recs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  fetch width %2d: %6.1f%%  (IPC %.2f -> %.2f, %d useless correct predictions)\n",
+			width, valuepred.IdealSpeedup(base, vp), base.IPC(), vp.IPC(), vp.Useless())
+	}
+}

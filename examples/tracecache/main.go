@@ -1,0 +1,75 @@
+// Tracecache: run the Section 4/5 machine — a trace cache feeding a
+// 40-wide core, with value predictions delivered through the paper's
+// banked prediction network (address router + value distributor) — and
+// inspect the network's conflict/merge behaviour and the bank-count
+// sensitivity.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "valuepred"
+
+func main() {
+	recs, err := valuepred.Trace("vortex", 1, 150_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: trace cache, no value prediction.
+	base, err := valuepred.RunMachine(
+		valuepred.NewTraceCacheFetch(recs, valuepred.NewPerfectBTB(), valuepred.NewTraceCacheConfig()),
+		valuepred.NewMachineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: IPC %.2f, trace-cache hit rate %.0f%%\n",
+		base.IPC(), 100*base.Fetch.TCHitRate())
+
+	// Value prediction through the banked network, sweeping bank counts.
+	for _, banks := range []int{1, 2, 4, 8, 16} {
+		netCfg := valuepred.NewNetworkConfig()
+		netCfg.Banks = banks
+		net, err := valuepred.NewNetwork(netCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := valuepred.NewMachineConfig()
+		cfg.Network = net
+		vp, err := valuepred.RunMachine(
+			valuepred.NewTraceCacheFetch(recs, valuepred.NewPerfectBTB(), valuepred.NewTraceCacheConfig()),
+			cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := net.Stats()
+		fmt.Printf("%2d banks: speedup %6.1f%%  (deny rate %.1f%%, %d merged requests, %d denied slots)\n",
+			banks, valuepred.MachineSpeedup(base, vp), 100*s.DenyRate(),
+			s.MergedServed, vp.DeniedSlots)
+	}
+
+	// Section 4.2: a hybrid predictor with profiling hints unloads the
+	// router; compare against stride-only at 2 banks.
+	hints := valuepred.Profile(recs[:len(recs)/4], 0.6)
+	netCfg := valuepred.NewNetworkConfig()
+	netCfg.Banks = 2
+	netCfg.Predictor = valuepred.NewHybridPredictor(1024, hints)
+	netCfg.Hints = hints
+	net, err := valuepred.NewNetwork(netCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := valuepred.NewMachineConfig()
+	cfg.Network = net
+	vp, err := valuepred.RunMachine(
+		valuepred.NewTraceCacheFetch(recs, valuepred.NewPerfectBTB(), valuepred.NewTraceCacheConfig()),
+		cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := net.Stats()
+	fmt.Printf("hybrid+hints at 2 banks: speedup %.1f%% (deny rate %.1f%%, %d requests hint-dropped)\n",
+		valuepred.MachineSpeedup(base, vp), 100*s.DenyRate(), s.HintDropped)
+}

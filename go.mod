@@ -1,0 +1,3 @@
+module valuepred
+
+go 1.22

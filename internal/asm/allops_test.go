@@ -1,0 +1,98 @@
+package asm
+
+import (
+	"testing"
+
+	"valuepred/internal/isa"
+)
+
+// TestEveryEmitter assembles a program that uses every instruction-emitting
+// method of the Builder exactly as the workloads do, and checks that the
+// emitted opcodes are what the methods promise.
+func TestEveryEmitter(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	// register-register ALU
+	b.Add(isa.T0, isa.T1, isa.T2)
+	b.Sub(isa.T0, isa.T1, isa.T2)
+	b.Mul(isa.T0, isa.T1, isa.T2)
+	b.Div(isa.T0, isa.T1, isa.T2)
+	b.Rem(isa.T0, isa.T1, isa.T2)
+	b.And(isa.T0, isa.T1, isa.T2)
+	b.Or(isa.T0, isa.T1, isa.T2)
+	b.Xor(isa.T0, isa.T1, isa.T2)
+	b.Sll(isa.T0, isa.T1, isa.T2)
+	b.Srl(isa.T0, isa.T1, isa.T2)
+	b.Sra(isa.T0, isa.T1, isa.T2)
+	b.Slt(isa.T0, isa.T1, isa.T2)
+	b.Sltu(isa.T0, isa.T1, isa.T2)
+	// register-immediate ALU
+	b.Addi(isa.T0, isa.T1, 1)
+	b.Andi(isa.T0, isa.T1, 1)
+	b.Ori(isa.T0, isa.T1, 1)
+	b.Xori(isa.T0, isa.T1, 1)
+	b.Slli(isa.T0, isa.T1, 1)
+	b.Srli(isa.T0, isa.T1, 1)
+	b.Srai(isa.T0, isa.T1, 1)
+	b.Slti(isa.T0, isa.T1, 1)
+	b.Li(isa.T0, 42)
+	b.Mv(isa.T0, isa.T1)
+	b.La(isa.T0, "data")
+	// memory
+	b.Ld(isa.T0, isa.SP, 0)
+	b.Lb(isa.T0, isa.SP, 0)
+	b.Sd(isa.T0, isa.SP, 0)
+	b.Sb(isa.T0, isa.SP, 0)
+	// control
+	b.Beq(isa.T0, isa.T1, "start")
+	b.Bne(isa.T0, isa.T1, "start")
+	b.Blt(isa.T0, isa.T1, "start")
+	b.Bge(isa.T0, isa.T1, "start")
+	b.Bltu(isa.T0, isa.T1, "start")
+	b.Bgeu(isa.T0, isa.T1, "start")
+	b.Beqz(isa.T0, "start")
+	b.Bnez(isa.T0, "start")
+	b.Jal(isa.RA, "start")
+	b.J("start")
+	b.Call("start")
+	b.Jalr(isa.RA, isa.T0, 0)
+	b.Ret()
+	b.Nop()
+	b.Halt()
+	b.Quads("data", 1, 2)
+	b.Bytes("blob", []byte{1})
+	b.Space("zero", 8)
+	b.QuadAddrs("tbl", "start")
+
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Opcode{
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+		isa.XOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI,
+		isa.SRAI, isa.SLTI, isa.LI, isa.ADDI /* Mv */, isa.LI, /* La */
+		isa.LD, isa.LB, isa.SD, isa.SB,
+		isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU,
+		isa.BEQ /* Beqz */, isa.BNE, /* Bnez */
+		isa.JAL, isa.JAL, isa.JAL, isa.JALR, isa.JALR, /* Ret */
+		isa.NOP, isa.HALT,
+	}
+	if len(p.Insts) != len(wantOps) {
+		t.Fatalf("emitted %d instructions, want %d", len(p.Insts), len(wantOps))
+	}
+	for i, want := range wantOps {
+		if p.Insts[i].Op != want {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i].Op, want)
+		}
+	}
+	// Every backward control-flow reference resolved to the same target.
+	for i, in := range p.Insts {
+		if in.Op.IsBranch() || in.Op == isa.JAL {
+			if target := int64(isa.PCOf(i)) + in.Imm; target != int64(isa.TextBase) {
+				t.Errorf("inst %d target %#x, want start", i, target)
+			}
+		}
+	}
+}

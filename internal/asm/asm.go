@@ -1,0 +1,383 @@
+// Package asm provides a programmatic assembler for the valuepred ISA. The
+// eight SPEC95-analogue workloads are written against this builder: code is
+// emitted through typed methods, control flow uses string labels, and data
+// is declared as named, zero-filled or initialised symbols that the builder
+// lays out in the data segment. Assemble resolves all references and
+// returns an executable isa.Program.
+package asm
+
+import (
+	"errors"
+	"fmt"
+
+	"valuepred/internal/isa"
+)
+
+type fixupKind uint8
+
+const (
+	fixRel fixupKind = iota // imm = target - pc (branches, jal)
+	fixAbs                  // imm = absolute address of symbol (li)
+)
+
+type fixup struct {
+	inst int // instruction index to patch
+	sym  string
+	kind fixupKind
+}
+
+type dataSym struct {
+	name string
+	data []byte
+	size int // for zero-filled symbols data is nil and size holds the length
+}
+
+// dataFixup patches a 64-bit word inside data symbol sym with the address
+// of target.
+type dataFixup struct {
+	sym    string
+	offset int
+	target string
+}
+
+// Builder accumulates instructions, labels and data symbols.
+type Builder struct {
+	insts      []isa.Inst
+	labels     map[string]int // label -> instruction index
+	fixups     []fixup
+	data       []dataSym
+	dataSet    map[string]bool
+	dataFixups []dataFixup
+	errs       []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int), dataSet: make(map[string]bool)}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.insts = append(b.insts, in)
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("asm: duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// --- register-register ALU ---
+
+func (b *Builder) rrr(op isa.Opcode, rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.rrr(isa.ADD, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SUB, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.rrr(isa.MUL, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (signed).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.rrr(isa.DIV, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2 (signed).
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) { b.rrr(isa.REM, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.rrr(isa.AND, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OR, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.rrr(isa.XOR, rd, rs1, rs2) }
+
+// Sll emits rd = rs1 << (rs2 & 63).
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SLL, rd, rs1, rs2) }
+
+// Srl emits rd = rs1 >> (rs2 & 63), logical.
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SRL, rd, rs1, rs2) }
+
+// Sra emits rd = rs1 >> (rs2 & 63), arithmetic.
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SRA, rd, rs1, rs2) }
+
+// Slt emits rd = (rs1 < rs2) signed.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SLT, rd, rs1, rs2) }
+
+// Sltu emits rd = (rs1 < rs2) unsigned.
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SLTU, rd, rs1, rs2) }
+
+// --- register-immediate ALU ---
+
+func (b *Builder) rri(op isa.Opcode, rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) { b.rri(isa.ADDI, rd, rs1, imm) }
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) { b.rri(isa.ANDI, rd, rs1, imm) }
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) { b.rri(isa.ORI, rd, rs1, imm) }
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) { b.rri(isa.XORI, rd, rs1, imm) }
+
+// Slli emits rd = rs1 << imm.
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) { b.rri(isa.SLLI, rd, rs1, imm) }
+
+// Srli emits rd = rs1 >> imm, logical.
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) { b.rri(isa.SRLI, rd, rs1, imm) }
+
+// Srai emits rd = rs1 >> imm, arithmetic.
+func (b *Builder) Srai(rd, rs1 isa.Reg, imm int64) { b.rri(isa.SRAI, rd, rs1, imm) }
+
+// Slti emits rd = (rs1 < imm) signed.
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) { b.rri(isa.SLTI, rd, rs1, imm) }
+
+// Li emits rd = imm (full 64-bit immediate).
+func (b *Builder) Li(rd isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LI, Rd: rd, Imm: imm}) }
+
+// Mv emits rd = rs.
+func (b *Builder) Mv(rd, rs isa.Reg) { b.Addi(rd, rs, 0) }
+
+// La emits rd = address-of(sym), resolved at assembly time. sym may be a
+// code label or a data symbol.
+func (b *Builder) La(rd isa.Reg, sym string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), sym: sym, kind: fixAbs})
+	b.emit(isa.Inst{Op: isa.LI, Rd: rd})
+}
+
+// --- memory ---
+
+// Ld emits rd = mem64[rs1 + off].
+func (b *Builder) Ld(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Lb emits rd = zext(mem8[rs1 + off]).
+func (b *Builder) Lb(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LB, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Sd emits mem64[rs1 + off] = rs2.
+func (b *Builder) Sd(rs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.SD, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Sb emits mem8[rs1 + off] = low byte of rs2.
+func (b *Builder) Sb(rs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.SB, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// --- control flow ---
+
+func (b *Builder) branch(op isa.Opcode, rs1, rs2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), sym: label, kind: fixRel})
+	b.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Beq branches to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) { b.branch(isa.BEQ, rs1, rs2, label) }
+
+// Bne branches to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) { b.branch(isa.BNE, rs1, rs2, label) }
+
+// Blt branches to label when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) { b.branch(isa.BLT, rs1, rs2, label) }
+
+// Bge branches to label when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) { b.branch(isa.BGE, rs1, rs2, label) }
+
+// Bltu branches to label when rs1 < rs2 (unsigned).
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.branch(isa.BLTU, rs1, rs2, label) }
+
+// Bgeu branches to label when rs1 >= rs2 (unsigned).
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.branch(isa.BGEU, rs1, rs2, label) }
+
+// Beqz branches to label when rs == 0.
+func (b *Builder) Beqz(rs isa.Reg, label string) { b.Beq(rs, isa.Zero, label) }
+
+// Bnez branches to label when rs != 0.
+func (b *Builder) Bnez(rs isa.Reg, label string) { b.Bne(rs, isa.Zero, label) }
+
+// Jal emits a direct jump to label, writing the return address to rd.
+func (b *Builder) Jal(rd isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), sym: label, kind: fixRel})
+	b.emit(isa.Inst{Op: isa.JAL, Rd: rd})
+}
+
+// J emits an unconditional jump to label with no link.
+func (b *Builder) J(label string) { b.Jal(isa.Zero, label) }
+
+// Call emits a call to label, linking through ra.
+func (b *Builder) Call(label string) { b.Jal(isa.RA, label) }
+
+// Jalr emits an indirect jump to rs1+off, writing the return address to rd.
+func (b *Builder) Jalr(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.JALR, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Ret emits a return through ra.
+func (b *Builder) Ret() { b.Jalr(isa.Zero, isa.RA, 0) }
+
+// Halt stops the machine.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.HALT}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// --- data ---
+
+func (b *Builder) defineData(name string, data []byte, size int) {
+	if b.dataSet[name] {
+		b.errf("asm: duplicate data symbol %q", name)
+		return
+	}
+	b.dataSet[name] = true
+	b.data = append(b.data, dataSym{name: name, data: data, size: size})
+}
+
+// Quads defines a data symbol holding the given 64-bit little-endian words.
+func (b *Builder) Quads(name string, vals ...int64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putU64(buf[8*i:], uint64(v))
+	}
+	b.defineData(name, buf, len(buf))
+}
+
+// Bytes defines a data symbol initialised with data.
+func (b *Builder) Bytes(name string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.defineData(name, cp, len(cp))
+}
+
+// QuadAddrs defines a data symbol holding one 64-bit word per named symbol,
+// each resolved to that symbol's address at assembly time. It is the
+// mechanism for building jump tables (dispatch via JALR) and pointer-valued
+// initialised data.
+func (b *Builder) QuadAddrs(name string, syms ...string) {
+	buf := make([]byte, 8*len(syms))
+	b.defineData(name, buf, len(buf))
+	for i, s := range syms {
+		b.dataFixups = append(b.dataFixups, dataFixup{sym: name, offset: 8 * i, target: s})
+	}
+}
+
+// Space defines a zero-filled data symbol of n bytes.
+func (b *Builder) Space(name string, n int) {
+	if n < 0 {
+		b.errf("asm: negative size for data symbol %q", name)
+		return
+	}
+	b.defineData(name, nil, n)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// NumInsts returns the number of instructions emitted so far.
+func (b *Builder) NumInsts() int { return len(b.insts) }
+
+// Assemble lays out data, resolves labels and fixups, and returns the
+// finished program. It fails if any label or data symbol is undefined or
+// duplicated.
+func (b *Builder) Assemble() (*isa.Program, error) {
+	syms := make(map[string]uint64, len(b.labels)+len(b.data))
+	for name, idx := range b.labels {
+		syms[name] = isa.PCOf(idx)
+	}
+	// Lay out data symbols in declaration order, each 8-byte aligned.
+	addr := isa.DataBase
+	var segments []isa.Segment
+	for _, d := range b.data {
+		if _, clash := syms[d.name]; clash {
+			b.errf("asm: symbol %q defined as both label and data", d.name)
+			continue
+		}
+		syms[d.name] = addr
+		if len(d.data) > 0 {
+			segments = append(segments, isa.Segment{Addr: addr, Data: d.data})
+		}
+		addr += uint64((d.size + 7) &^ 7)
+	}
+	// Resolve data-word fixups (jump tables, pointer data). Segments index
+	// parallels b.data only for initialised symbols, so locate by address.
+	segByAddr := make(map[uint64][]byte, len(segments))
+	for _, s := range segments {
+		segByAddr[s.Addr] = s.Data
+	}
+	for _, f := range b.dataFixups {
+		target, ok := syms[f.target]
+		if !ok {
+			b.errf("asm: undefined symbol %q in data fixup", f.target)
+			continue
+		}
+		base, ok := syms[f.sym]
+		if !ok {
+			b.errf("asm: undefined data symbol %q in data fixup", f.sym)
+			continue
+		}
+		buf := segByAddr[base]
+		if buf == nil || f.offset+8 > len(buf) {
+			b.errf("asm: data fixup out of range in %q", f.sym)
+			continue
+		}
+		putU64(buf[f.offset:], target)
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		target, ok := syms[f.sym]
+		if !ok {
+			b.errf("asm: undefined symbol %q", f.sym)
+			continue
+		}
+		switch f.kind {
+		case fixRel:
+			insts[f.inst].Imm = int64(target) - int64(isa.PCOf(f.inst))
+		case fixAbs:
+			insts[f.inst].Imm = int64(target)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if len(insts) == 0 {
+		return nil, errors.New("asm: empty program")
+	}
+	return &isa.Program{
+		Insts:    insts,
+		Entry:    isa.TextBase,
+		Segments: segments,
+		Symbols:  syms,
+	}, nil
+}
+
+// MustAssemble is Assemble that panics on error; intended for workload
+// definitions whose correctness is established by the test suite.
+func MustAssemble(b *Builder) *isa.Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,207 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"valuepred/internal/isa"
+)
+
+func TestBranchAndJumpResolution(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")             // inst 0
+	b.Addi(isa.T0, isa.T0, 1)    // 0
+	b.Beq(isa.T0, isa.T1, "fwd") // 1
+	b.J("start")                 // 2
+	b.Label("fwd")
+	b.Halt() // 3
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Insts[1].Imm; got != 2*isa.InstBytes {
+		t.Errorf("forward branch offset = %d, want %d", got, 2*isa.InstBytes)
+	}
+	if got := p.Insts[2].Imm; got != -2*isa.InstBytes {
+		t.Errorf("backward jump offset = %d, want %d", got, -2*isa.InstBytes)
+	}
+	if p.Symbols["fwd"] != isa.PCOf(3) {
+		t.Errorf("fwd symbol = %#x", p.Symbols["fwd"])
+	}
+}
+
+func TestDataLayoutAndLa(t *testing.T) {
+	b := NewBuilder()
+	b.La(isa.T0, "table")
+	b.La(isa.T1, "blob")
+	b.La(isa.T2, "zeroes")
+	b.Halt()
+	b.Quads("table", 1, 2, 3)
+	b.Bytes("blob", []byte("hello"))
+	b.Space("zeroes", 100)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableAddr := p.Symbols["table"]
+	if tableAddr != isa.DataBase {
+		t.Errorf("first symbol at %#x, want DataBase", tableAddr)
+	}
+	// 3 quads = 24 bytes, 8-aligned.
+	if got := p.Symbols["blob"]; got != tableAddr+24 {
+		t.Errorf("blob at %#x, want %#x", got, tableAddr+24)
+	}
+	// "hello" is 5 bytes, padded to 8.
+	if got := p.Symbols["zeroes"]; got != p.Symbols["blob"]+8 {
+		t.Errorf("zeroes at %#x", got)
+	}
+	if p.Insts[0].Imm != int64(tableAddr) {
+		t.Errorf("la imm = %#x", p.Insts[0].Imm)
+	}
+	// Zero-filled symbols produce no segment; initialised ones do.
+	if len(p.Segments) != 2 {
+		t.Errorf("expected 2 segments, have %d", len(p.Segments))
+	}
+}
+
+func TestQuadAddrs(t *testing.T) {
+	b := NewBuilder()
+	b.Label("h0")
+	b.Nop()
+	b.Label("h1")
+	b.Halt()
+	b.QuadAddrs("dispatch", "h1", "h0")
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg *isa.Segment
+	for i := range p.Segments {
+		if p.Segments[i].Addr == p.Symbols["dispatch"] {
+			seg = &p.Segments[i]
+		}
+	}
+	if seg == nil {
+		t.Fatal("dispatch segment missing")
+	}
+	read := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(seg.Data[off+i]) << (8 * i)
+		}
+		return v
+	}
+	if read(0) != p.Symbols["h1"] || read(8) != p.Symbols["h0"] {
+		t.Errorf("dispatch = %#x, %#x; want %#x, %#x",
+			read(0), read(8), p.Symbols["h1"], p.Symbols["h0"])
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	b := NewBuilder()
+	b.Mv(isa.T0, isa.T1)
+	b.Beqz(isa.T0, "end")
+	b.Bnez(isa.T0, "end")
+	b.Call("end")
+	b.Ret()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.ADDI || p.Insts[0].Imm != 0 {
+		t.Error("Mv must be addi rd, rs, 0")
+	}
+	if p.Insts[1].Op != isa.BEQ || p.Insts[1].Rs2 != isa.Zero {
+		t.Error("Beqz must compare against zero")
+	}
+	if p.Insts[3].Op != isa.JAL || p.Insts[3].Rd != isa.RA {
+		t.Error("Call must be jal ra")
+	}
+	if p.Insts[4].Op != isa.JALR || p.Insts[4].Rd != isa.Zero || p.Insts[4].Rs1 != isa.RA {
+		t.Error("Ret must be jalr zero, 0(ra)")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder()
+		b.J("nowhere")
+		if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder()
+		b.Label("x")
+		b.Nop()
+		b.Label("x")
+		b.Halt()
+		if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("duplicate data", func(t *testing.T) {
+		b := NewBuilder()
+		b.Halt()
+		b.Quads("d", 1)
+		b.Space("d", 8)
+		if _, err := b.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate data") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("label data clash", func(t *testing.T) {
+		b := NewBuilder()
+		b.Label("x")
+		b.Halt()
+		b.Quads("x", 1)
+		if _, err := b.Assemble(); err == nil {
+			t.Error("label/data clash not reported")
+		}
+	})
+	t.Run("empty program", func(t *testing.T) {
+		if _, err := NewBuilder().Assemble(); err == nil {
+			t.Error("empty program accepted")
+		}
+	})
+	t.Run("negative space", func(t *testing.T) {
+		b := NewBuilder()
+		b.Halt()
+		b.Space("neg", -1)
+		if _, err := b.Assemble(); err == nil {
+			t.Error("negative data size accepted")
+		}
+	})
+	t.Run("undefined quadaddr target", func(t *testing.T) {
+		b := NewBuilder()
+		b.Halt()
+		b.QuadAddrs("tbl", "missing")
+		if _, err := b.Assemble(); err == nil {
+			t.Error("undefined QuadAddrs target accepted")
+		}
+	})
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on error")
+		}
+	}()
+	b := NewBuilder()
+	b.J("nowhere")
+	MustAssemble(b)
+}
+
+func TestNumInsts(t *testing.T) {
+	b := NewBuilder()
+	if b.NumInsts() != 0 {
+		t.Error("fresh builder has instructions")
+	}
+	b.Nop()
+	b.Nop()
+	if b.NumInsts() != 2 {
+		t.Errorf("NumInsts = %d", b.NumInsts())
+	}
+}

@@ -1,0 +1,180 @@
+// Package btb implements the branch predictors of Section 5: an ideal
+// (perfect) predictor and a 2-level branch target buffer in PAp
+// configuration (Yeh & Patt) — a 2K-entry, 2-way set-associative first
+// level where each entry keeps a 4-bit per-branch history register indexing
+// a per-branch pattern table of 2-bit counters, plus the branch target. The
+// BTB is assumed capable of predicting multiple branches per cycle, as the
+// paper assumes.
+package btb
+
+// Prediction is a direction/target prediction for one control instruction.
+type Prediction struct {
+	// Taken is the predicted direction (always true for predicted jumps).
+	Taken bool
+	// Target is the predicted target, meaningful when TargetValid.
+	Target      uint64
+	TargetValid bool
+}
+
+// Predictor predicts control instructions. Predict must not change
+// predictor state; the fetch engine calls Update exactly once per fetched
+// control instruction. The actual outcome is passed to Predict so that the
+// perfect predictor can be expressed under the same interface; real
+// predictors ignore it.
+type Predictor interface {
+	Predict(pc uint64, actualTaken bool, actualTarget uint64) Prediction
+	Update(pc uint64, taken bool, target uint64)
+	Name() string
+}
+
+// Perfect is the ideal branch predictor: always right.
+type Perfect struct{}
+
+// NewPerfect returns the ideal predictor.
+func NewPerfect() Perfect { return Perfect{} }
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "ideal-btb" }
+
+// Predict implements Predictor by echoing the actual outcome.
+func (Perfect) Predict(_ uint64, actualTaken bool, actualTarget uint64) Prediction {
+	return Prediction{Taken: actualTaken, Target: actualTarget, TargetValid: true}
+}
+
+// Update implements Predictor (no state).
+func (Perfect) Update(uint64, bool, uint64) {}
+
+// TwoLevelConfig parameterises the PAp BTB.
+type TwoLevelConfig struct {
+	// Entries is the first-level size (paper: 2048). Must be a positive
+	// power of two and a multiple of Ways.
+	Entries int
+	// Ways is the set associativity (paper: 2).
+	Ways int
+	// HistoryBits is the per-branch history length (paper: 4).
+	HistoryBits int
+}
+
+// DefaultTwoLevelConfig returns the paper's configuration: 2K entries,
+// 2-way, 4-bit histories.
+func DefaultTwoLevelConfig() TwoLevelConfig {
+	return TwoLevelConfig{Entries: 2048, Ways: 2, HistoryBits: 4}
+}
+
+type btbEntry struct {
+	valid   bool
+	tag     uint64
+	history uint8
+	pattern []uint8 // 2-bit counters, indexed by history
+	target  uint64
+	lru     uint64
+}
+
+// TwoLevel is the 2-level PAp BTB.
+type TwoLevel struct {
+	cfg     TwoLevelConfig
+	sets    [][]btbEntry
+	setMask uint64
+	histMax uint8
+	tick    uint64
+}
+
+// NewTwoLevel returns a PAp BTB with the given configuration.
+func NewTwoLevel(cfg TwoLevelConfig) *TwoLevel {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("btb: Entries must be a positive power of two")
+	}
+	if cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("btb: Ways must divide Entries")
+	}
+	if cfg.HistoryBits < 1 || cfg.HistoryBits > 8 {
+		panic("btb: HistoryBits out of range")
+	}
+	numSets := cfg.Entries / cfg.Ways
+	sets := make([][]btbEntry, numSets)
+	for i := range sets {
+		sets[i] = make([]btbEntry, cfg.Ways)
+	}
+	return &TwoLevel{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		histMax: uint8(1<<cfg.HistoryBits - 1),
+	}
+}
+
+// Name implements Predictor.
+func (t *TwoLevel) Name() string { return "2level-btb" }
+
+func (t *TwoLevel) find(pc uint64) *btbEntry {
+	set := t.sets[(pc>>2)&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor. A BTB miss predicts not-taken with no
+// target.
+func (t *TwoLevel) Predict(pc uint64, _ bool, _ uint64) Prediction {
+	e := t.find(pc)
+	if e == nil {
+		return Prediction{}
+	}
+	taken := e.pattern[e.history] >= 2
+	return Prediction{Taken: taken, Target: e.target, TargetValid: true}
+}
+
+// Update implements Predictor: it trains the pattern counter selected by
+// the branch's history, shifts the history, and records the taken target.
+// A miss allocates an entry, evicting the LRU way.
+func (t *TwoLevel) Update(pc uint64, taken bool, target uint64) {
+	t.tick++
+	e := t.find(pc)
+	if e == nil {
+		set := t.sets[(pc>>2)&t.setMask]
+		victim := &set[0]
+		for i := range set {
+			if !set[i].valid {
+				victim = &set[i]
+				break
+			}
+			if set[i].lru < victim.lru {
+				victim = &set[i]
+			}
+		}
+		pattern := make([]uint8, int(t.histMax)+1)
+		for i := range pattern {
+			pattern[i] = 1 // weakly not-taken
+		}
+		*victim = btbEntry{valid: true, tag: pc, pattern: pattern}
+		e = victim
+	}
+	c := &e.pattern[e.history]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+	e.history = (e.history<<1 | boolBit(taken)) & t.histMax
+	if taken {
+		e.target = target
+	}
+	e.lru = t.tick
+}
+
+func boolBit(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ Predictor = Perfect{}
+	_ Predictor = (*TwoLevel)(nil)
+)

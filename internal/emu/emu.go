@@ -1,0 +1,242 @@
+// Package emu is the functional emulator for the valuepred ISA. It executes
+// an assembled program architecturally (no timing) and emits one trace
+// record per committed instruction. It plays the role of the Shade tracer in
+// the paper's methodology: the dynamic instruction stream it produces is the
+// input to every analysis and machine model.
+package emu
+
+import (
+	"fmt"
+
+	"valuepred/internal/isa"
+	"valuepred/internal/trace"
+)
+
+// Machine executes one program.
+type Machine struct {
+	prog   *isa.Program
+	regs   [isa.NumRegs]uint64
+	pc     uint64
+	mem    *Mem
+	seq    uint64
+	halted bool
+	err    error
+}
+
+// New returns a Machine loaded with prog: data segments are copied into
+// memory, sp is initialised to isa.StackTop and gp to isa.DataBase.
+func New(prog *isa.Program) *Machine {
+	m := &Machine{prog: prog, pc: prog.Entry, mem: NewMem()}
+	for _, seg := range prog.Segments {
+		m.mem.WriteBytes(seg.Addr, seg.Data)
+	}
+	m.regs[isa.SP] = isa.StackTop
+	m.regs[isa.GP] = isa.DataBase
+	return m
+}
+
+// Err returns the first execution error (bad PC, invalid opcode), or nil.
+func (m *Machine) Err() error { return m.err }
+
+// Halted reports whether the program executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Reg returns the current value of register r.
+func (m *Machine) Reg(r isa.Reg) uint64 { return m.regs[r] }
+
+// SetReg sets register r (writes to x0 are ignored), for test setup.
+func (m *Machine) SetReg(r isa.Reg, v uint64) {
+	if r != 0 {
+		m.regs[r] = v
+	}
+}
+
+// Mem returns the machine's memory.
+func (m *Machine) Mem() *Mem { return m.mem }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// InstCount returns the number of instructions committed so far.
+func (m *Machine) InstCount() uint64 { return m.seq }
+
+// Step executes one instruction and returns its trace record. It returns
+// ok=false once the machine has halted or faulted; check Err to
+// distinguish the two.
+func (m *Machine) Step() (trace.Rec, bool) {
+	if m.halted || m.err != nil {
+		return trace.Rec{}, false
+	}
+	in, ok := m.prog.At(m.pc)
+	if !ok {
+		m.err = fmt.Errorf("emu: PC %#x outside text segment at inst %d", m.pc, m.seq)
+		return trace.Rec{}, false
+	}
+	rec := trace.Rec{
+		Seq: m.seq, PC: m.pc,
+		Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2, Imm: in.Imm,
+	}
+	next := m.pc + isa.InstBytes
+	rs1 := m.regs[in.Rs1]
+	rs2 := m.regs[in.Rs2]
+	var val uint64
+	writes := false
+
+	switch in.Op {
+	case isa.ADD:
+		val, writes = rs1+rs2, true
+	case isa.SUB:
+		val, writes = rs1-rs2, true
+	case isa.MUL:
+		val, writes = rs1*rs2, true
+	case isa.DIV:
+		if rs2 == 0 {
+			val = ^uint64(0)
+		} else if int64(rs1) == -1<<63 && int64(rs2) == -1 {
+			val = rs1 // overflow case: RISC-V returns the dividend
+		} else {
+			val = uint64(int64(rs1) / int64(rs2))
+		}
+		writes = true
+	case isa.REM:
+		if rs2 == 0 {
+			val = rs1
+		} else if int64(rs1) == -1<<63 && int64(rs2) == -1 {
+			val = 0
+		} else {
+			val = uint64(int64(rs1) % int64(rs2))
+		}
+		writes = true
+	case isa.AND:
+		val, writes = rs1&rs2, true
+	case isa.OR:
+		val, writes = rs1|rs2, true
+	case isa.XOR:
+		val, writes = rs1^rs2, true
+	case isa.SLL:
+		val, writes = rs1<<(rs2&63), true
+	case isa.SRL:
+		val, writes = rs1>>(rs2&63), true
+	case isa.SRA:
+		val, writes = uint64(int64(rs1)>>(rs2&63)), true
+	case isa.SLT:
+		val, writes = boolToU64(int64(rs1) < int64(rs2)), true
+	case isa.SLTU:
+		val, writes = boolToU64(rs1 < rs2), true
+
+	case isa.ADDI:
+		val, writes = rs1+uint64(in.Imm), true
+	case isa.ANDI:
+		val, writes = rs1&uint64(in.Imm), true
+	case isa.ORI:
+		val, writes = rs1|uint64(in.Imm), true
+	case isa.XORI:
+		val, writes = rs1^uint64(in.Imm), true
+	case isa.SLLI:
+		val, writes = rs1<<(uint64(in.Imm)&63), true
+	case isa.SRLI:
+		val, writes = rs1>>(uint64(in.Imm)&63), true
+	case isa.SRAI:
+		val, writes = uint64(int64(rs1)>>(uint64(in.Imm)&63)), true
+	case isa.SLTI:
+		val, writes = boolToU64(int64(rs1) < in.Imm), true
+	case isa.LI:
+		val, writes = uint64(in.Imm), true
+
+	case isa.LD:
+		rec.Addr = rs1 + uint64(in.Imm)
+		val, writes = m.mem.Read64(rec.Addr), true
+	case isa.LB:
+		rec.Addr = rs1 + uint64(in.Imm)
+		val, writes = uint64(m.mem.Load8(rec.Addr)), true
+	case isa.SD:
+		rec.Addr = rs1 + uint64(in.Imm)
+		rec.Val = rs2
+		m.mem.Write64(rec.Addr, rs2)
+	case isa.SB:
+		rec.Addr = rs1 + uint64(in.Imm)
+		rec.Val = rs2
+		m.mem.Store8(rec.Addr, byte(rs2))
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		taken := false
+		switch in.Op {
+		case isa.BEQ:
+			taken = rs1 == rs2
+		case isa.BNE:
+			taken = rs1 != rs2
+		case isa.BLT:
+			taken = int64(rs1) < int64(rs2)
+		case isa.BGE:
+			taken = int64(rs1) >= int64(rs2)
+		case isa.BLTU:
+			taken = rs1 < rs2
+		case isa.BGEU:
+			taken = rs1 >= rs2
+		}
+		rec.Taken = taken
+		if taken {
+			next = m.pc + uint64(in.Imm)
+		}
+	case isa.JAL:
+		val, writes = m.pc+isa.InstBytes, true
+		rec.Taken = true
+		next = m.pc + uint64(in.Imm)
+	case isa.JALR:
+		val, writes = m.pc+isa.InstBytes, true
+		rec.Taken = true
+		next = (rs1 + uint64(in.Imm)) &^ 1
+
+	case isa.HALT:
+		m.halted = true
+	case isa.NOP:
+		// nothing
+	default:
+		m.err = fmt.Errorf("emu: invalid opcode %v at PC %#x (inst %d)", in.Op, m.pc, m.seq)
+		return trace.Rec{}, false
+	}
+
+	if writes {
+		rec.Val = val
+		if in.Rd != 0 {
+			m.regs[in.Rd] = val
+		}
+	}
+	rec.Target = next
+	m.pc = next
+	m.seq++
+	return rec, true
+}
+
+// Run executes until HALT, a fault, or limit instructions (limit <= 0 means
+// unlimited) and returns the collected trace.
+func (m *Machine) Run(limit int) []trace.Rec {
+	var out []trace.Rec
+	if limit > 0 {
+		out = make([]trace.Rec, 0, limit)
+	}
+	for {
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		rec, ok := m.Step()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// Next implements trace.Source: it steps the machine, streaming records
+// without buffering them.
+func (m *Machine) Next() (trace.Rec, bool) { return m.Step() }
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Program returns the program the machine is executing.
+func (m *Machine) Program() *isa.Program { return m.prog }

@@ -1,0 +1,374 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// u converts a signed value to its two's-complement uint64 representation
+// at run time (constant conversions of negatives are compile errors).
+func u(v int64) uint64 { return uint64(v) }
+
+// runALU executes `op t2, t0, t1` with the given inputs and returns t2.
+func runALU(t *testing.T, op isa.Opcode, a, b uint64) uint64 {
+	t.Helper()
+	prog := &isa.Program{
+		Insts: []isa.Inst{
+			{Op: op, Rd: isa.T2, Rs1: isa.T0, Rs2: isa.T1},
+			{Op: isa.HALT},
+		},
+		Entry: isa.TextBase,
+	}
+	m := New(prog)
+	m.SetReg(isa.T0, a)
+	m.SetReg(isa.T1, b)
+	m.Run(0)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	return m.Reg(isa.T2)
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Opcode
+		a, b uint64
+		want uint64
+	}{
+		{isa.ADD, 3, 4, 7},
+		{isa.SUB, 3, 4, ^uint64(0)},
+		{isa.MUL, 1 << 40, 1 << 30, 0},             // 2^70 wraps to 0 mod 2^64
+		{isa.MUL, (1 << 32) + 3, 1 << 32, 3 << 32}, // partial wrap
+		{isa.AND, 0b1100, 0b1010, 0b1000},
+		{isa.OR, 0b1100, 0b1010, 0b1110},
+		{isa.XOR, 0b1100, 0b1010, 0b0110},
+		{isa.SLL, 1, 65, 2}, // shift masked to 6 bits
+		{isa.SRL, uint64(1) << 63, 63, 1},
+		{isa.SRA, uint64(math.MaxUint64), 5, uint64(math.MaxUint64)},
+		{isa.SLT, uint64(1 << 63), 1, 1}, // negative < 1 signed
+		{isa.SLTU, uint64(1 << 63), 1, 0},
+		{isa.DIV, 7, 2, 3},
+		{isa.DIV, u(-7), 2, u(-3)},
+		{isa.DIV, 7, 0, ^uint64(0)},                          // div by zero
+		{isa.DIV, u(math.MinInt64), u(-1), u(math.MinInt64)}, // overflow
+		{isa.REM, 7, 3, 1},
+		{isa.REM, u(-7), 3, u(-1)},
+		{isa.REM, 7, 0, 7},
+		{isa.REM, u(math.MinInt64), u(-1), 0},
+	}
+	for _, c := range cases {
+		if got := runALU(t, c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", c.op, int64(c.a), int64(c.b), int64(got), int64(c.want))
+		}
+	}
+}
+
+// TestALUAgainstGo cross-checks the emulator's ALU against Go's own
+// semantics with random operands.
+func TestALUAgainstGo(t *testing.T) {
+	type spec struct {
+		op isa.Opcode
+		f  func(a, b uint64) uint64
+	}
+	specs := []spec{
+		{isa.ADD, func(a, b uint64) uint64 { return a + b }},
+		{isa.SUB, func(a, b uint64) uint64 { return a - b }},
+		{isa.MUL, func(a, b uint64) uint64 { return a * b }},
+		{isa.AND, func(a, b uint64) uint64 { return a & b }},
+		{isa.OR, func(a, b uint64) uint64 { return a | b }},
+		{isa.XOR, func(a, b uint64) uint64 { return a ^ b }},
+		{isa.SLL, func(a, b uint64) uint64 { return a << (b & 63) }},
+		{isa.SRL, func(a, b uint64) uint64 { return a >> (b & 63) }},
+		{isa.SRA, func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) }},
+		{isa.SLT, func(a, b uint64) uint64 {
+			if int64(a) < int64(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.SLTU, func(a, b uint64) uint64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for _, s := range specs {
+		s := s
+		f := func(a, b uint64) bool {
+			return runALU(t, s.op, a, b) == s.f(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%v: %v", s.op, err)
+		}
+	}
+}
+
+func TestImmediatesAndLI(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.T0, -5)
+	b.Addi(isa.T1, isa.T0, 12)   // 7
+	b.Andi(isa.T2, isa.T1, 0b11) // 3
+	b.Ori(isa.T3, isa.T2, 0b100) // 7
+	b.Xori(isa.T4, isa.T3, 0b1)  // 6
+	b.Slli(isa.T5, isa.T4, 2)    // 24
+	b.Srli(isa.T6, isa.T5, 1)    // 12
+	b.Srai(isa.S0, isa.T0, 1)    // -3
+	b.Slti(isa.S1, isa.T0, 0)    // 1
+	b.Halt()
+	m := New(asm.MustAssemble(b))
+	m.Run(0)
+	checks := map[isa.Reg]int64{
+		isa.T1: 7, isa.T2: 3, isa.T3: 7, isa.T4: 6,
+		isa.T5: 24, isa.T6: 12, isa.S0: -3, isa.S1: 1,
+	}
+	for r, want := range checks {
+		if got := int64(m.Reg(r)); got != want {
+			t.Errorf("%v = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	b := asm.NewBuilder()
+	b.La(isa.S0, "buf")
+	b.Li(isa.T0, 0x1122334455667788)
+	b.Sd(isa.T0, isa.S0, 0)
+	b.Ld(isa.T1, isa.S0, 0)
+	b.Lb(isa.T2, isa.S0, 1) // second byte, zero-extended
+	b.Li(isa.T3, 0x1FF)
+	b.Sb(isa.T3, isa.S0, 8) // stores only the low byte
+	b.Lb(isa.T4, isa.S0, 8)
+	b.Halt()
+	b.Space("buf", 16)
+	m := New(asm.MustAssemble(b))
+	recs := m.Run(0)
+	if m.Reg(isa.T1) != 0x1122334455667788 {
+		t.Errorf("ld roundtrip = %#x", m.Reg(isa.T1))
+	}
+	if m.Reg(isa.T2) != 0x77 {
+		t.Errorf("lb = %#x, want 0x77", m.Reg(isa.T2))
+	}
+	if m.Reg(isa.T4) != 0xFF {
+		t.Errorf("sb/lb = %#x, want 0xff", m.Reg(isa.T4))
+	}
+	// Trace must carry effective addresses and stored values.
+	for _, r := range recs {
+		if r.Op == isa.SD && r.Val != 0x1122334455667788 {
+			t.Errorf("sd trace value = %#x", r.Val)
+		}
+		if r.Op.IsLoad() && r.Addr == 0 {
+			t.Error("load trace missing address")
+		}
+	}
+}
+
+func TestBranchesAndJumps(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.T0, 1)
+	b.Li(isa.T1, 2)
+	b.Blt(isa.T0, isa.T1, "took") // taken
+	b.Li(isa.S0, 111)             // skipped
+	b.Label("took")
+	b.Bge(isa.T0, isa.T1, "nottaken") // not taken
+	b.Li(isa.S1, 222)
+	b.Label("nottaken")
+	b.Call("sub")
+	b.Li(isa.S3, 444)
+	b.Halt()
+	b.Label("sub")
+	b.Li(isa.S2, 333)
+	b.Ret()
+	m := New(asm.MustAssemble(b))
+	recs := m.Run(0)
+	if m.Reg(isa.S0) == 111 {
+		t.Error("taken branch fell through")
+	}
+	if m.Reg(isa.S1) != 222 || m.Reg(isa.S2) != 333 || m.Reg(isa.S3) != 444 {
+		t.Errorf("control flow wrong: s1=%d s2=%d s3=%d",
+			m.Reg(isa.S1), m.Reg(isa.S2), m.Reg(isa.S3))
+	}
+	// Check trace Taken/Target annotations.
+	for _, r := range recs {
+		if r.Op.IsControl() {
+			if r.Taken && r.Target == r.PC+isa.InstBytes && r.Op.IsBranch() {
+				t.Errorf("taken branch with fallthrough target: %v", r)
+			}
+			if !r.Taken && r.Target != r.PC+isa.InstBytes {
+				t.Errorf("not-taken branch with redirect: %v", r)
+			}
+		}
+		if r.Target == 0 {
+			t.Errorf("record without target: %v", r)
+		}
+	}
+}
+
+func TestJALLinkValue(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Call("f") // inst 0: ra must become PCOf(1)
+	b.Halt()
+	b.Label("f")
+	b.Ret()
+	m := New(asm.MustAssemble(b))
+	m.Run(0)
+	if m.Reg(isa.RA) != isa.PCOf(1) {
+		t.Errorf("ra = %#x, want %#x", m.Reg(isa.RA), isa.PCOf(1))
+	}
+	if !m.Halted() {
+		t.Error("machine did not halt")
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	prog := &isa.Program{
+		Insts: []isa.Inst{
+			{Op: isa.LI, Rd: isa.X0, Imm: 42},
+			{Op: isa.ADD, Rd: isa.T0, Rs1: isa.X0, Rs2: isa.X0},
+			{Op: isa.HALT},
+		},
+		Entry: isa.TextBase,
+	}
+	m := New(prog)
+	recs := m.Run(0)
+	if m.Reg(isa.X0) != 0 || m.Reg(isa.T0) != 0 {
+		t.Error("x0 was written")
+	}
+	// The LI to x0 still records its value but WritesValue is false.
+	if recs[0].WritesValue() {
+		t.Error("write to x0 counted as a value producer")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	t.Run("bad pc", func(t *testing.T) {
+		prog := &isa.Program{
+			Insts: []isa.Inst{{Op: isa.JALR, Rd: isa.X0, Rs1: isa.X0, Imm: 0x99999}},
+			Entry: isa.TextBase,
+		}
+		m := New(prog)
+		m.Run(0)
+		if m.Err() == nil {
+			t.Error("jump outside text did not fault")
+		}
+	})
+	t.Run("bad opcode", func(t *testing.T) {
+		prog := &isa.Program{Insts: []isa.Inst{{Op: isa.BAD}}, Entry: isa.TextBase}
+		m := New(prog)
+		m.Run(0)
+		if m.Err() == nil {
+			t.Error("BAD opcode did not fault")
+		}
+	})
+}
+
+func TestRunLimitAndSeq(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("loop")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.J("loop")
+	m := New(asm.MustAssemble(b))
+	recs := m.Run(1000)
+	if len(recs) != 1000 {
+		t.Fatalf("limit ignored: %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("Seq not consecutive at %d", i)
+		}
+	}
+	if m.InstCount() != 1000 {
+		t.Errorf("InstCount = %d", m.InstCount())
+	}
+	// Step after limit continues.
+	if _, ok := m.Step(); !ok {
+		t.Error("machine stopped unexpectedly")
+	}
+}
+
+func TestNopAndInitialState(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Nop()
+	b.Halt()
+	m := New(asm.MustAssemble(b))
+	if m.Reg(isa.SP) != isa.StackTop || m.Reg(isa.GP) != isa.DataBase {
+		t.Error("sp/gp not initialised")
+	}
+	if m.PC() != isa.TextBase {
+		t.Error("entry PC wrong")
+	}
+	recs := m.Run(0)
+	if len(recs) != 2 {
+		t.Errorf("expected 2 records, have %d", len(recs))
+	}
+	if _, ok := m.Step(); ok {
+		t.Error("halted machine stepped")
+	}
+}
+
+func TestJALRClearsLowBit(t *testing.T) {
+	b := asm.NewBuilder()
+	b.La(isa.T0, "target")
+	b.Ori(isa.T0, isa.T0, 1) // set the low bit; JALR must clear it
+	b.Jalr(isa.RA, isa.T0, 0)
+	b.Halt()
+	b.Label("target")
+	b.Li(isa.S0, 99)
+	b.Halt()
+	m := New(asm.MustAssemble(b))
+	m.Run(0)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	if m.Reg(isa.S0) != 99 {
+		t.Error("JALR with a dirty low bit missed its target")
+	}
+}
+
+func TestLbZeroExtendsHighBytes(t *testing.T) {
+	b := asm.NewBuilder()
+	b.La(isa.S0, "buf")
+	b.Lb(isa.T0, isa.S0, 0)
+	b.Halt()
+	b.Bytes("buf", []byte{0xF7})
+	m := New(asm.MustAssemble(b))
+	m.Run(0)
+	if got := m.Reg(isa.T0); got != 0xF7 {
+		t.Errorf("lb of 0xF7 = %#x; must zero-extend", got)
+	}
+}
+
+func TestNegativeImmediateLI(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.T0, -1)
+	b.Li(isa.T1, -1<<62)
+	b.Halt()
+	m := New(asm.MustAssemble(b))
+	m.Run(0)
+	if int64(m.Reg(isa.T0)) != -1 || int64(m.Reg(isa.T1)) != -1<<62 {
+		t.Errorf("negative LI: %d, %d", int64(m.Reg(isa.T0)), int64(m.Reg(isa.T1)))
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Nop()
+	b.Nop()
+	b.Halt()
+	m := New(asm.MustAssemble(b))
+	n := 0
+	for {
+		_, ok := m.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("streamed %d records, want 3", n)
+	}
+}

@@ -1,0 +1,111 @@
+package emu
+
+// Mem is a sparse, paged flat memory. Unmapped bytes read as zero, so
+// programs may use large zero-initialised regions (hash tables, heaps)
+// without the emulator materialising them.
+type Mem struct {
+	pages map[uint64]*page
+	// one-entry lookaside to make sequential access cheap
+	lastIdx  uint64
+	lastPage *page
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// NewMem returns an empty memory.
+func NewMem() *Mem { return &Mem{pages: make(map[uint64]*page)} }
+
+func (m *Mem) page(addr uint64, create bool) *page {
+	idx := addr >> pageShift
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new(page)
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Mem) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 stores b at addr.
+func (m *Mem) Store8(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read64 returns the little-endian 64-bit word at addr. Unaligned and
+// page-crossing accesses are permitted.
+func (m *Mem) Read64(addr uint64) uint64 {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
+			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores v little-endian at addr.
+func (m *Mem) Write64(addr uint64, v uint64) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, true)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		p[o+4] = byte(v >> 32)
+		p[o+5] = byte(v >> 40)
+		p[o+6] = byte(v >> 48)
+		p[o+7] = byte(v >> 56)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies data into memory starting at addr.
+func (m *Mem) WriteBytes(addr uint64, data []byte) {
+	for i, b := range data {
+		m.Store8(addr+uint64(i), b)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Mem) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Load8(addr + uint64(i))
+	}
+	return out
+}
+
+// Pages returns the number of materialised pages (for tests and stats).
+func (m *Mem) Pages() int { return len(m.pages) }

@@ -1,0 +1,66 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemZeroDefault(t *testing.T) {
+	m := NewMem()
+	if m.Load8(0xdeadbeef) != 0 || m.Read64(0x12345) != 0 {
+		t.Error("unmapped memory must read zero")
+	}
+	if m.Pages() != 0 {
+		t.Error("reads must not materialise pages")
+	}
+}
+
+func TestMemByteWordRoundTrip(t *testing.T) {
+	m := NewMem()
+	m.Store8(100, 0xAB)
+	if m.Load8(100) != 0xAB {
+		t.Error("byte roundtrip failed")
+	}
+	m.Write64(200, 0x0102030405060708)
+	if m.Read64(200) != 0x0102030405060708 {
+		t.Error("word roundtrip failed")
+	}
+	// little-endian layout
+	if m.Load8(200) != 0x08 || m.Load8(207) != 0x01 {
+		t.Error("word not little-endian")
+	}
+}
+
+func TestMemPageCrossing(t *testing.T) {
+	m := NewMem()
+	// A 64-bit word straddling a 4096-byte page boundary.
+	addr := uint64(pageSize - 3)
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Errorf("page-crossing word = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("expected 2 pages, have %d", m.Pages())
+	}
+}
+
+func TestMemBulk(t *testing.T) {
+	m := NewMem()
+	data := []byte("the quick brown fox")
+	m.WriteBytes(5000, data)
+	if got := string(m.ReadBytes(5000, len(data))); got != string(data) {
+		t.Errorf("bulk roundtrip = %q", got)
+	}
+}
+
+func TestMemQuick(t *testing.T) {
+	m := NewMem()
+	f := func(addr uint32, v uint64) bool {
+		a := uint64(addr)
+		m.Write64(a, v)
+		return m.Read64(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

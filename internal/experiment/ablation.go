@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"fmt"
+
+	"valuepred/internal/core"
+	"valuepred/internal/fetch"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/predictor"
+)
+
+func init() {
+	register("ablation.banks", "Ablation — prediction-table bank count (Section 4 network)", AblationBanks)
+	register("ablation.hybrid", "Ablation — stride vs hybrid+hints predictor in the network (Section 4.2)", AblationHybrid)
+	register("ablation.window", "Ablation — scheduling-window vs ROB window semantics", AblationWindow)
+	register("ablation.vpenalty", "Ablation — value-misprediction reschedule penalty", AblationVPenalty)
+}
+
+// AblationBankCounts is the bank sweep of ablation.banks.
+var AblationBankCounts = []int{1, 2, 4, 8, 16}
+
+// AblationBanks sweeps the number of banks in the prediction network on the
+// trace-cache machine: fewer banks mean more router denials and a smaller
+// value-prediction speedup.
+func AblationBanks(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — speedup vs prediction-table bank count (trace cache, ideal BTB)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, b := range AblationBankCounts {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d banks", b))
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		var cells []float64
+		for _, banks := range AblationBankCounts {
+			netCfg := core.DefaultConfig()
+			netCfg.Banks = banks
+			cfg := pipeline.DefaultConfig()
+			cfg.Network = core.MustNew(netCfg)
+			vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+		}
+		t.AddRow(name, cells...)
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+// AblationHybrid compares three predictor organisations inside the network
+// on the trace-cache machine: the classified stride table, a hybrid
+// (last-value + small stride table) without hints, and the hybrid steered
+// by profiling-derived opcode hints, which also unloads the router
+// (Section 4.2).
+func AblationHybrid(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — predictor organisation in the network (trace cache, ideal BTB, 4 banks)",
+		RowHeader: "benchmark",
+		Columns:   []string{"stride", "hybrid", "hybrid+hints", "denied% stride", "denied% hints"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		// Profile the first quarter of the trace for hints.
+		hints := predictor.Profile(recs[:len(recs)/4], 0.6)
+
+		type variant struct {
+			pred  predictor.Predictor
+			hints predictor.Hints
+		}
+		variants := []variant{
+			{pred: predictor.NewClassifiedStride()},
+			{pred: predictor.NewHybrid(1024, nil)},
+			{pred: predictor.NewHybrid(1024, hints), hints: hints},
+		}
+		var cells []float64
+		var denied []float64
+		for _, v := range variants {
+			netCfg := core.Config{Banks: 4, PortsPerBank: 1, Predictor: v.pred, Hints: v.hints}
+			net, err := core.NewNetwork(netCfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Network = net
+			vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+			s := net.Stats()
+			denied = append(denied, 100*float64(s.Denied+s.MergedDenied)/float64(max64(s.Requests, 1)))
+		}
+		t.AddRow(name, cells[0], cells[1], cells[2], denied[0], denied[2])
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationWindow compares scheduling-window semantics (slots free at
+// execute; the paper's model) against ROB semantics (slots held until
+// in-order commit) on the unlimited-fetch machine.
+func AblationWindow(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — window semantics (sequential fetch, unlimited taken branches, ideal BTB)",
+		RowHeader: "benchmark",
+		Columns:   []string{"sched-window speedup", "ROB speedup", "sched base IPC", "ROB base IPC"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		var speedups, ipcs []float64
+		for _, hold := range []bool{false, true} {
+			cfg := pipeline.DefaultConfig()
+			cfg.HoldUntilCommit = hold
+			base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfgVP := cfg
+			cfgVP.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfgVP)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, pipeline.Speedup(base, vp))
+			ipcs = append(ipcs, base.IPC())
+		}
+		t.AddRow(name, speedups[0], speedups[1], ipcs[0], ipcs[1])
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+// AblationVPenalty sweeps the extra reschedule penalty charged to consumers
+// of mispredicted values, quantifying how sensitive the paper's results are
+// to the recovery model.
+func AblationVPenalty(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	penalties := []int{0, 1, 2, 4}
+	t := &Table{
+		Title:     "Ablation — value-misprediction reschedule penalty (sequential fetch, n=4, ideal BTB)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, pen := range penalties {
+		t.Columns = append(t.Columns, fmt.Sprintf("+%d cycles", pen))
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		var cells []float64
+		for _, pen := range penalties {
+			cfg := pipeline.DefaultConfig()
+			cfg.ValuePenalty = pen
+			cfg.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+		}
+		t.AddRow(name, cells...)
+	}
+	t.AppendAverage()
+	return t, nil
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"valuepred/internal/btb"
+	"valuepred/internal/fetch"
+	"valuepred/internal/ideal"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/predictor"
+	"valuepred/internal/trace"
+)
+
+func init() {
+	register("ablation.predictor", "Ablation — value-predictor organisations on the ideal machine (width 16)", AblationPredictor)
+	register("ablation.btb", "Ablation — BTB quality vs value-prediction speedup (Section 5 claim)", AblationBTB)
+	register("ablation.fetchmech", "Ablation — high-bandwidth fetch mechanisms (Section 2.2 survey)", AblationFetchMech)
+}
+
+// AblationPredictor compares value-predictor organisations on the ideal
+// machine at fetch width 16: last-value, stride, classified stride
+// (the paper's choice), classified FCM and the hybrid.
+func AblationPredictor(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	type variant struct {
+		name string
+		mk   func(recs []trace.Rec) predictor.Predictor
+	}
+	variants := []variant{
+		{"last-value", func([]trace.Rec) predictor.Predictor { return predictor.NewLastValue() }},
+		{"stride", func([]trace.Rec) predictor.Predictor { return predictor.NewStride() }},
+		{"stride+2bc", func([]trace.Rec) predictor.Predictor { return predictor.NewClassifiedStride() }},
+		{"fcm2+2bc", func([]trace.Rec) predictor.Predictor { return predictor.NewClassifiedFCM(2) }},
+		{"hybrid+hints", func(recs []trace.Rec) predictor.Predictor {
+			return predictor.NewHybrid(1024, predictor.Profile(recs[:len(recs)/4], 0.6))
+		}},
+	}
+	t := &Table{
+		Title:     "Ablation — predictor organisations (ideal machine, fetch width 16)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.name)
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		if err != nil {
+			return nil, err
+		}
+		var cells []float64
+		for _, v := range variants {
+			cfg := ideal.DefaultConfig(16)
+			cfg.Predictor = v.mk(recs)
+			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, ideal.Speedup(base, vp))
+		}
+		t.AddRow(name, cells...)
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+// AblationBTB quantifies the paper's Section 5 observation that "any small
+// improvement in the BTB accuracy can considerably affect the performance
+// gain of value prediction": it sweeps BTB configurations at 4 taken
+// branches per cycle and reports branch accuracy alongside VP speedup.
+func AblationBTB(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	type variant struct {
+		name string
+		mk   branchMaker
+	}
+	variants := []variant{
+		{"btb-512", func() btb.Predictor {
+			return btb.NewTwoLevel(btb.TwoLevelConfig{Entries: 512, Ways: 2, HistoryBits: 4})
+		}},
+		{"btb-2k", twoLevelBTB},
+		{"btb-8k/h6", func() btb.Predictor {
+			return btb.NewTwoLevel(btb.TwoLevelConfig{Entries: 8192, Ways: 4, HistoryBits: 6})
+		}},
+		{"gshare", func() btb.Predictor { return btb.NewGShare(btb.DefaultGShareConfig()) }},
+		{"ideal", perfectBTB},
+	}
+	t := &Table{
+		Title:     "Ablation — BTB quality vs value-prediction speedup (sequential fetch, n=4)",
+		RowHeader: "benchmark",
+	}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.name+" speedup")
+	}
+	t.Columns = append(t.Columns, "acc 512", "acc 2k", "acc 8k", "acc gshare")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		var speedups, accs []float64
+		for _, v := range variants {
+			base, err := pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), pipeline.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), cfg)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, pipeline.Speedup(base, vp))
+			if v.name != "ideal" {
+				accs = append(accs, 100*vp.Fetch.BranchAccuracy())
+			}
+		}
+		t.AddRow(name, append(speedups, accs...)...)
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+// AblationFetchMech compares the high-bandwidth fetch mechanisms the paper
+// surveys in Section 2.2 as hosts for value prediction: single-branch
+// sequential fetch, the collapsing buffer (two noncontiguous cache lines),
+// multiple-branch sequential fetch, and the trace cache. All use the ideal
+// BTB so the comparison isolates the fetch mechanism.
+func AblationFetchMech(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	type variant struct {
+		name string
+		mk   func(recs []trace.Rec) fetch.Engine
+	}
+	variants := []variant{
+		{"seq n=1", func(r []trace.Rec) fetch.Engine { return fetch.NewSequential(r, perfectBTB(), 1) }},
+		{"collapsing", func(r []trace.Rec) fetch.Engine {
+			return fetch.NewCollapsingBuffer(r, perfectBTB(), fetch.DefaultCBConfig())
+		}},
+		{"seq n=4", func(r []trace.Rec) fetch.Engine { return fetch.NewSequential(r, perfectBTB(), 4) }},
+		{"trace cache", func(r []trace.Rec) fetch.Engine {
+			return fetch.NewTraceCache(r, perfectBTB(), fetch.DefaultTCConfig())
+		}},
+	}
+	t := &Table{
+		Title:     "Ablation — fetch mechanism vs value-prediction speedup (ideal BTB)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, v := range variants {
+		t.Columns = append(t.Columns, v.name)
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		var cells []float64
+		for _, v := range variants {
+			base, err := pipeline.Run(v.mk(recs), pipeline.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(v.mk(recs), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+		}
+		t.AddRow(name, cells...)
+	}
+	t.AppendAverage()
+	t.AddNote("speedups are relative to the same fetch mechanism without value prediction")
+	return t, nil
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"valuepred/internal/ideal"
+	"valuepred/internal/predictor"
+	"valuepred/internal/trace"
+)
+
+func init() {
+	register("ablation.lipasti",
+		"Ablation — load-value-only prediction [13] vs all-instruction prediction [7]",
+		AblationLipasti)
+	register("ablation.twodelta",
+		"Ablation — plain stride vs two-delta stride update policy",
+		AblationTwoDelta)
+}
+
+// AblationLipasti contrasts the original load-value prediction of Lipasti,
+// Wilkerson & Shen (reference [13]: predict loads only) with the paper's
+// all-instruction value prediction, on the ideal machine at width 16. The
+// last two columns give each scheme's prediction coverage (correct
+// confident predictions per value-producing instruction).
+func AblationLipasti(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — loads-only [13] vs all-instruction [7] value prediction (ideal machine, width 16)",
+		RowHeader: "benchmark",
+		Columns:   []string{"loads-only speedup", "all-inst speedup", "loads-only coverage %", "all-inst coverage %"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		if err != nil {
+			return nil, err
+		}
+		mk := []func() predictor.Predictor{
+			func() predictor.Predictor {
+				return predictor.NewLoadsOnlyFromTrace(predictor.NewClassifiedStride(), recs)
+			},
+			func() predictor.Predictor { return predictor.NewClassifiedStride() },
+		}
+		var speedups, coverages []float64
+		for _, m := range mk {
+			cfg := ideal.DefaultConfig(16)
+			cfg.Predictor = m()
+			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, ideal.Speedup(base, vp))
+			acc := predictor.Evaluate(m(), recs)
+			coverages = append(coverages, 100*acc.ConfidentCoverage())
+		}
+		t.AddRow(name, speedups[0], speedups[1], coverages[0], coverages[1])
+	}
+	t.AppendAverage()
+	t.AddNote("loads-only reproduces the [13]-style result: less coverage, much less speedup")
+	return t, nil
+}
+
+// AblationTwoDelta compares the plain stride update rule against the
+// two-delta rule of the paper's technical reports on raw accuracy and on
+// ideal-machine speedup at width 16.
+func AblationTwoDelta(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — stride vs two-delta stride (ideal machine, width 16)",
+		RowHeader: "benchmark",
+		Columns:   []string{"stride speedup", "2-delta speedup", "stride hit %", "2-delta hit %"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		if err != nil {
+			return nil, err
+		}
+		var speedups, hits []float64
+		for _, m := range []func() predictor.Predictor{
+			func() predictor.Predictor { return predictor.NewClassifiedStride() },
+			func() predictor.Predictor { return predictor.NewClassifiedTwoDelta() },
+		} {
+			cfg := ideal.DefaultConfig(16)
+			cfg.Predictor = m()
+			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, ideal.Speedup(base, vp))
+			hits = append(hits, 100*predictor.Evaluate(m(), recs).HitRate())
+		}
+		t.AddRow(name, speedups[0], speedups[1], hits[0], hits[1])
+	}
+	t.AppendAverage()
+	return t, nil
+}

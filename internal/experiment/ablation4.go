@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+
+	"valuepred/internal/trace"
+
+	"valuepred/internal/fetch"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/predictor"
+)
+
+func init() {
+	register("ablation.vptable",
+		"Ablation — finite prediction-table sizes vs the infinite-table idealisation",
+		AblationVPTable)
+	register("diag.memdeps",
+		"Diagnostic — effect of store-to-load dependencies on the baseline and on VP",
+		DiagMemDeps)
+}
+
+// AblationVPTableSizes is the size sweep (0 = infinite).
+var AblationVPTableSizes = []int{16, 64, 256, 0}
+
+// AblationVPTable replaces Section 3's infinite stride table with
+// direct-mapped tagged tables of realistic sizes on the Section 5 machine
+// (n=4, ideal BTB): the knee shows how much state the paper's assumption
+// hides.
+func AblationVPTable(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Ablation — value-prediction table size (sequential fetch, n=4, ideal BTB)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, size := range AblationVPTableSizes {
+		if size == 0 {
+			t.Columns = append(t.Columns, "infinite")
+		} else {
+			t.Columns = append(t.Columns, fmt.Sprintf("%d entries", size))
+		}
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		var cells []float64
+		for _, size := range AblationVPTableSizes {
+			var inner predictor.Predictor
+			if size == 0 {
+				inner = predictor.NewStride()
+			} else {
+				inner = predictor.NewStrideTable(size)
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Predictor = &predictor.Classified{Inner: inner, Class: predictor.NewClassifier(2, 2)}
+			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+		}
+		t.AddRow(name, cells...)
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+// DiagMemDeps quantifies how much of each workload's serialisation flows
+// through memory: baseline IPC and VP speedup with and without
+// store-to-load dependencies (n=4, ideal BTB). Without memory dependencies
+// the machine is optimistic (perfect memory renaming).
+func DiagMemDeps(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Diagnostic — store-to-load dependencies (sequential fetch, n=4, ideal BTB)",
+		RowHeader: "benchmark",
+		Columns:   []string{"base IPC mem", "base IPC nomem", "speedup mem", "speedup nomem"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		run := func(mem, vp bool) (pipeline.Result, error) {
+			cfg := pipeline.DefaultConfig()
+			cfg.IncludeMemoryDeps = mem
+			if vp {
+				cfg.Predictor = predictor.NewClassifiedStride()
+			}
+			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+		}
+		baseMem, err := run(true, false)
+		if err != nil {
+			return nil, err
+		}
+		baseNo, err := run(false, false)
+		if err != nil {
+			return nil, err
+		}
+		vpMem, err := run(true, true)
+		if err != nil {
+			return nil, err
+		}
+		vpNo, err := run(false, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			baseMem.IPC(), baseNo.IPC(),
+			pipeline.Speedup(baseMem, vpMem), pipeline.Speedup(baseNo, vpNo))
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+func init() {
+	register("ablation.partial",
+		"Ablation — trace-cache partial matching (reference [6])",
+		AblationPartial)
+}
+
+// AblationPartial measures the partial-matching improvement of the paper's
+// reference [6] on the trace-cache machine with the 2-level BTB: the hit
+// rate rises because predictor/line disagreements deliver the matching
+// prefix instead of missing.
+func AblationPartial(p Params) (*Table, error) {
+	t := &Table{
+		Title:     "Ablation — trace-cache partial matching (2-level BTB)",
+		RowHeader: "benchmark",
+		Columns:   []string{"hit% off", "hit% on", "partial share %", "speedup off", "speedup on"},
+	}
+	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+		type outcome struct {
+			hit, partialShare, speedup float64
+		}
+		measure := func(partial bool) (outcome, error) {
+			tcCfg := fetch.DefaultTCConfig()
+			tcCfg.PartialMatching = partial
+			mk := func() fetch.Engine {
+				return fetch.NewTraceCache(recs, twoLevelBTB(), tcCfg)
+			}
+			base, err := pipeline.Run(mk(), pipeline.DefaultConfig())
+			if err != nil {
+				return outcome{}, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(mk(), cfg)
+			if err != nil {
+				return outcome{}, err
+			}
+			st := vp.Fetch
+			var share float64
+			if st.TCHits > 0 {
+				share = 100 * float64(st.TCPartialHits) / float64(st.TCHits)
+			}
+			return outcome{
+				hit:          100 * st.TCHitRate(),
+				partialShare: share,
+				speedup:      pipeline.Speedup(base, vp),
+			}, nil
+		}
+		off, err := measure(false)
+		if err != nil {
+			return nil, err
+		}
+		on, err := measure(true)
+		if err != nil {
+			return nil, err
+		}
+		return []float64{off.hit, on.hit, on.partialShare, off.speedup, on.speedup}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AppendAverage()
+	return t, nil
+}
+
+func init() {
+	register("ablation.latency",
+		"Ablation — load latency vs value-prediction speedup (VP hides load latency)",
+		AblationLatency)
+}
+
+// AblationLatencyLoads is the load-latency sweep of ablation.latency.
+var AblationLatencyLoads = []int{1, 2, 4}
+
+// AblationLatency extends the paper's unit-latency model with multi-cycle
+// loads. Correctly predicted load values decouple consumers from the
+// memory pipeline, so the *absolute* cycle savings grow with latency; the
+// *relative* speedup is workload-dependent (it shrinks where the
+// unpredictable dependence chains lengthen faster than prediction can
+// compensate), which is why the table reports both speedup and base IPC.
+func AblationLatency(p Params) (*Table, error) {
+	t := &Table{
+		Title:     "Ablation — load latency (sequential fetch, n=4, ideal BTB)",
+		RowHeader: "benchmark",
+	}
+	for _, lat := range AblationLatencyLoads {
+		t.Columns = append(t.Columns, fmt.Sprintf("lat=%d speedup", lat))
+	}
+	for _, lat := range AblationLatencyLoads {
+		t.Columns = append(t.Columns, fmt.Sprintf("lat=%d base IPC", lat))
+	}
+	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+		var speedups, ipcs []float64
+		for _, lat := range AblationLatencyLoads {
+			cfg := pipeline.DefaultConfig()
+			cfg.LoadLatency = lat
+			base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfgVP := cfg
+			cfgVP.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfgVP)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, pipeline.Speedup(base, vp))
+			ipcs = append(ipcs, base.IPC())
+		}
+		return append(speedups, ipcs...), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AppendAverage()
+	return t, nil
+}

@@ -1,0 +1,162 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation, plus the Section 4 router statistics and the design
+// ablations called out in DESIGN.md. Each runner produces a stats.Table
+// whose rows are the eight SPEC95-analogue benchmarks (in the paper's
+// order) and whose columns are the swept machine configurations.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"valuepred/internal/trace"
+	"valuepred/internal/workload"
+)
+
+// Params configures a run of any experiment.
+type Params struct {
+	// Seed drives workload input generation.
+	Seed int64
+	// TraceLen is the dynamic instruction count per benchmark. The paper
+	// traced 100M instructions; the workloads here are periodic enough
+	// that a few hundred thousand give stable statistics.
+	TraceLen int
+	// Workloads restricts the benchmark set (nil = all eight).
+	Workloads []string
+}
+
+// DefaultParams returns the parameters used by the benchmark harness.
+func DefaultParams() Params {
+	return Params{Seed: 1, TraceLen: 200_000}
+}
+
+func (p Params) workloads() []string {
+	if len(p.Workloads) > 0 {
+		return p.Workloads
+	}
+	return workload.Names()
+}
+
+func (p Params) validate() error {
+	if p.TraceLen <= 0 {
+		return fmt.Errorf("experiment: TraceLen must be positive, have %d", p.TraceLen)
+	}
+	for _, name := range p.workloads() {
+		if _, ok := workload.Get(name); !ok {
+			return fmt.Errorf("experiment: unknown workload %q", name)
+		}
+	}
+	return nil
+}
+
+// traces builds the dynamic trace of every selected workload, one
+// emulator per goroutine.
+func (p Params) traces() (map[string][]trace.Rec, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	names := p.workloads()
+	recs := make([][]trace.Rec, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			recs[i], errs[i] = workload.Trace(name, p.Seed, p.TraceLen)
+		}(i, name)
+	}
+	wg.Wait()
+	out := make(map[string][]trace.Rec, len(names))
+	for i, name := range names {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[name] = recs[i]
+	}
+	return out, nil
+}
+
+// Runner produces one experiment table.
+type Runner func(Params) (*stableTable, error)
+
+// stableTable aliases stats.Table via the re-export in tables.go; the
+// indirection keeps the registry definition local.
+type stableTable = Table
+
+var registry = map[string]struct {
+	runner Runner
+	desc   string
+}{}
+
+func register(id, desc string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiment: duplicate id " + id)
+	}
+	registry[id] = struct {
+		runner Runner
+		desc   string
+	}{r, desc}
+}
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.desc, ok
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, p Params) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return e.runner(p)
+}
+
+// workloadGet returns the Table 3.1 description of a benchmark.
+func workloadGet(name string) (string, bool) {
+	s, ok := workload.Get(name)
+	return s.Description, ok
+}
+
+// forEachWorkload runs fn for every selected workload concurrently (one
+// goroutine per benchmark — each run builds its own predictors and engines,
+// so there is no shared mutable state) and appends the returned rows to t
+// in the paper's presentation order.
+func forEachWorkload(p Params, t *Table, fn func(name string, recs []trace.Rec) ([]float64, error)) error {
+	traces, err := p.traces()
+	if err != nil {
+		return err
+	}
+	names := p.workloads()
+	rows := make([][]float64, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			rows[i], errs[i] = fn(name, traces[name])
+		}(i, name)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		t.AddRow(name, rows[i]...)
+	}
+	return nil
+}

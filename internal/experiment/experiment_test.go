@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"valuepred/internal/workload"
+)
+
+// tiny returns fast parameters for structural tests.
+func tiny() Params {
+	return Params{Seed: 1, TraceLen: 15_000, Workloads: []string{"compress95", "go"}}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table3.1", "table3.2", "fig3.1", "fig3.3", "fig3.4", "fig3.5",
+		"fig5.1", "fig5.2", "fig5.3", "sec4",
+		"ablation.banks", "ablation.hybrid", "ablation.window", "ablation.vpenalty",
+		"ablation.predictor", "ablation.btb", "ablation.fetchmech",
+		"ablation.lipasti", "ablation.twodelta", "diag.stalls", "diag.classes",
+		"ablation.vptable", "diag.memdeps", "diag.useless", "ablation.partial", "ablation.latency",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+		if desc, ok := Describe(id); !ok || desc == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestUnknownAndInvalid(t *testing.T) {
+	if _, err := Run("nonesuch", tiny()); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Run("fig3.1", Params{TraceLen: 0}); err == nil {
+		t.Error("zero trace length accepted")
+	}
+	if _, err := Run("fig3.1", Params{TraceLen: 100, Workloads: []string{"bogus"}}); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if _, ok := Describe("nonesuch"); ok {
+		t.Error("Describe(nonesuch) succeeded")
+	}
+}
+
+// TestAllExperimentsWellFormed runs every registered experiment with tiny
+// parameters and checks structural invariants of the resulting tables.
+func TestAllExperimentsWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is not short")
+	}
+	p := tiny()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.Title == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("malformed table: %+v", tab)
+			}
+			for _, r := range tab.Rows {
+				if len(r.Cells) > len(tab.Columns) {
+					t.Errorf("row %q has %d cells for %d columns", r.Label, len(r.Cells), len(tab.Columns))
+				}
+			}
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.RenderCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFig31RowsMatchWorkloads checks row labels and the average row.
+func TestFig31RowsMatchWorkloads(t *testing.T) {
+	tab, err := Fig31(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // two workloads + average
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Label != "compress95" || tab.Rows[1].Label != "go" || tab.Rows[2].Label != "average" {
+		t.Errorf("row labels = %v", []string{tab.Rows[0].Label, tab.Rows[1].Label, tab.Rows[2].Label})
+	}
+	if len(tab.Columns) != len(Fig31Widths) {
+		t.Errorf("columns = %v", tab.Columns)
+	}
+}
+
+// TestTable32Exact pins the paper's walk-through cycles.
+func TestTable32Exact(t *testing.T) {
+	tab, err := Table32(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 instruction rows (plus the HALT row, which also executes).
+	if len(tab.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Instruction #1 fetch cycle 1, execute 3; instruction #6 execute 4.
+	if v, _ := tab.Cell("#1", "fetch"); v != 1 {
+		t.Errorf("#1 fetch = %v", v)
+	}
+	if v, _ := tab.Cell("#1", "execute"); v != 3 {
+		t.Errorf("#1 execute = %v", v)
+	}
+	if v, _ := tab.Cell("#6", "execute"); v != 4 {
+		t.Errorf("#6 execute = %v", v)
+	}
+	if len(tab.Notes) == 0 {
+		t.Error("no per-cycle notes rendered")
+	}
+}
+
+// TestTable31ListsAllBenchmarks verifies the descriptions table.
+func TestTable31ListsAllBenchmarks(t *testing.T) {
+	tab, err := Table31(Params{Seed: 1, TraceLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(workload.Names()) {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	for _, want := range []string{"Lempel-Ziv", "88100", "Lisp", "Anagram", "JPEG", "database", "compiler", "Game"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("descriptions missing %q", want)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.TraceLen <= 0 || len(p.workloads()) != 8 {
+		t.Errorf("DefaultParams = %+v", p)
+	}
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"valuepred/internal/trace"
+
+	"valuepred/internal/btb"
+	"valuepred/internal/core"
+	"valuepred/internal/fetch"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/predictor"
+)
+
+func init() {
+	register("fig5.1", "Figure 5.1 — VP speedup vs taken branches/cycle, ideal BTB", Fig51)
+	register("fig5.2", "Figure 5.2 — VP speedup vs taken branches/cycle, 2-level BTB", Fig52)
+	register("fig5.3", "Figure 5.3 — VP speedup with a trace cache", Fig53)
+	register("sec4", "Section 4 — prediction-network router/distributor statistics", Sec4)
+}
+
+// Fig5Taken are the taken-branch-per-cycle limits swept by Figures 5.1 and
+// 5.2 (-1 is the paper's "unlimited").
+var Fig5Taken = []int{1, 2, 3, 4, -1}
+
+func takenLabel(n int) string {
+	if n < 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("n=%d", n)
+}
+
+// branchMaker builds a fresh branch predictor per run.
+type branchMaker func() btb.Predictor
+
+func perfectBTB() btb.Predictor  { return btb.NewPerfect() }
+func twoLevelBTB() btb.Predictor { return btb.NewTwoLevel(btb.DefaultTwoLevelConfig()) }
+
+// sequentialSpeedups runs the Section 5 machine over every workload and
+// taken-branch limit, with and without value prediction.
+func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, error) {
+	t := &Table{Title: title, RowHeader: "benchmark", Unit: "%"}
+	for _, n := range Fig5Taken {
+		t.Columns = append(t.Columns, takenLabel(n))
+	}
+	var mu sync.Mutex
+	var accSum, accN float64
+	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+		var cells []float64
+		for _, n := range Fig5Taken {
+			base, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), pipeline.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Predictor = predictor.NewClassifiedStride()
+			vp, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+			mu.Lock()
+			accSum += vp.Fetch.BranchAccuracy()
+			accN++
+			mu.Unlock()
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AppendAverage()
+	t.AddNote("mean branch prediction accuracy across runs: %.1f%%", 100*accSum/accN)
+	return t, nil
+}
+
+// Fig51 reproduces Figure 5.1: the realistic machine with a perfect branch
+// predictor.
+func Fig51(p Params) (*Table, error) {
+	return sequentialSpeedups(p,
+		"Figure 5.1 — value-prediction speedup vs max taken branches/cycle (ideal BTB)",
+		perfectBTB)
+}
+
+// Fig52 reproduces Figure 5.2: the same sweep with the 2-level PAp BTB.
+func Fig52(p Params) (*Table, error) {
+	return sequentialSpeedups(p,
+		"Figure 5.2 — value-prediction speedup vs max taken branches/cycle (2-level BTB)",
+		twoLevelBTB)
+}
+
+// Fig53 reproduces Figure 5.3: the trace-cache machine, with the banked
+// prediction network delivering values, under both branch predictors.
+func Fig53(p Params) (*Table, error) {
+	t := &Table{
+		Title:     "Figure 5.3 — value-prediction speedup with a trace cache",
+		RowHeader: "benchmark",
+		Columns:   []string{"TC+2levelBTB", "TC+idealBTB"},
+		Unit:      "%",
+	}
+	var mu sync.Mutex
+	var hitSum, hitN float64
+	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+		var cells []float64
+		for _, mk := range []branchMaker{twoLevelBTB, perfectBTB} {
+			base, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			cfg := pipeline.DefaultConfig()
+			cfg.Network = core.MustNew(core.DefaultConfig())
+			vp, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, pipeline.Speedup(base, vp))
+			mu.Lock()
+			hitSum += vp.Fetch.TCHitRate()
+			hitN++
+			mu.Unlock()
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AppendAverage()
+	t.AddNote("mean trace-cache hit rate across runs: %.1f%%", 100*hitSum/hitN)
+	return t, nil
+}
+
+// Sec4 reports the prediction-network behaviour the paper's Section 4
+// motivates: how often trace-cache fetch groups contain duplicate PCs, how
+// many requests the router merges or denies, and the cost of denials.
+func Sec4(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:     "Section 4 — banked prediction network behaviour (trace-cache machine, 16 banks)",
+		RowHeader: "benchmark",
+		Columns:   []string{"requests/kinst", "merged %", "denied %", "hint-dropped %", "speedup %"},
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		net := core.MustNew(core.DefaultConfig())
+		cfg := pipeline.DefaultConfig()
+		cfg.Network = net
+		vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := net.Stats()
+		req := float64(s.Requests)
+		t.AddRow(name,
+			1000*req/float64(len(recs)),
+			100*float64(s.MergedServed+s.MergedDenied)/req,
+			100*float64(s.Denied+s.MergedDenied)/req,
+			100*float64(s.HintDropped)/req,
+			pipeline.Speedup(base, vp))
+	}
+	t.AppendAverage()
+	return t, nil
+}

@@ -1,0 +1,6 @@
+package experiment
+
+import "valuepred/internal/stats"
+
+// Table re-exports stats.Table as the result type of every runner.
+type Table = stats.Table

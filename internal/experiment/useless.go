@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"fmt"
+
+	"valuepred/internal/ideal"
+	"valuepred/internal/predictor"
+	"valuepred/internal/trace"
+)
+
+func init() {
+	register("diag.useless",
+		"Diagnostic — fraction of correct value predictions that are useless, by fetch width",
+		DiagUseless)
+}
+
+// DiagUselessWidths is the fetch-width sweep of diag.useless.
+var DiagUselessWidths = []int{4, 8, 16, 40}
+
+// DiagUseless measures the paper's central phenomenon directly: the share
+// of *correct* value predictions that decouple no consumer because the
+// producer had already executed when the consumer issued — i.e. the
+// prediction was correct but useless. At fetch width 4 most correct
+// predictions are wasted; widening the front end converts them into used
+// predictions (Section 3's argument, quantified).
+func DiagUseless(p Params) (*Table, error) {
+	t := &Table{
+		Title:     "Diagnostic — useless fraction of correct predictions vs fetch width (ideal machine)",
+		RowHeader: "benchmark",
+		Unit:      "%",
+	}
+	for _, w := range DiagUselessWidths {
+		t.Columns = append(t.Columns, fmt.Sprintf("BW=%d", w))
+	}
+	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+		var cells []float64
+		for _, w := range DiagUselessWidths {
+			cfg := ideal.DefaultConfig(w)
+			cfg.Predictor = predictor.NewClassifiedStride()
+			res, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.Correct == 0 {
+				cells = append(cells, 0)
+				continue
+			}
+			cells = append(cells, 100*float64(res.Useless())/float64(res.Correct))
+		}
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AppendAverage()
+	t.AddNote("a useless prediction is correct but its consumers' operands were ready anyway")
+	return t, nil
+}

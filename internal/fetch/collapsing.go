@@ -1,0 +1,115 @@
+package fetch
+
+import (
+	"valuepred/internal/btb"
+	"valuepred/internal/trace"
+)
+
+// CBConfig parameterises the collapsing-buffer fetch engine, modelling the
+// mechanism of Conte et al. that the paper surveys in Section 2.2: an
+// interleaved instruction cache reads two cache lines per cycle — the line
+// containing the fetch address and the line containing the predicted target
+// of the first taken branch — and a collapsing buffer merges the valid
+// instructions of both lines into one fetch group.
+type CBConfig struct {
+	// LineInsts is the instruction-cache line size in instructions
+	// (lines are aligned on this boundary).
+	LineInsts int
+	// Lines is how many (possibly noncontiguous) lines are read per cycle.
+	Lines int
+}
+
+// DefaultCBConfig returns the classic two-line, 16-instruction-line
+// organisation.
+func DefaultCBConfig() CBConfig { return CBConfig{LineInsts: 16, Lines: 2} }
+
+// CollapsingBuffer is the two-line interleaved-cache fetch engine.
+type CollapsingBuffer struct {
+	s     stream
+	c     ctrl
+	cfg   CBConfig
+	stats Stats
+}
+
+// NewCollapsingBuffer returns a collapsing-buffer engine over recs.
+func NewCollapsingBuffer(recs []trace.Rec, bp btb.Predictor, cfg CBConfig) *CollapsingBuffer {
+	if cfg.LineInsts <= 0 || cfg.LineInsts&(cfg.LineInsts-1) != 0 {
+		panic("fetch: collapsing-buffer line size must be a positive power of two")
+	}
+	if cfg.Lines <= 0 {
+		panic("fetch: collapsing buffer needs at least one line per cycle")
+	}
+	return &CollapsingBuffer{s: stream{recs: recs}, c: ctrl{bp: bp}, cfg: cfg}
+}
+
+// Stats implements Engine.
+func (e *CollapsingBuffer) Stats() Stats { return e.stats }
+
+// lineEnd returns the first address past the aligned cache line of pc.
+func (e *CollapsingBuffer) lineEnd(pc uint64) uint64 {
+	lineBytes := uint64(e.cfg.LineInsts * 4)
+	return (pc &^ (lineBytes - 1)) + lineBytes
+}
+
+// NextGroup implements Engine. Each cycle reads up to cfg.Lines cache
+// lines: fetch proceeds within a line through not-taken branches (the
+// collapsing buffer squeezes them out); a taken control transfer ends the
+// current line's contribution and redirects the next line read to its
+// target. Instructions are delivered until the last permitted line is
+// exhausted or a misprediction occurs.
+func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
+	if e.s.eof() {
+		return Group{}, false
+	}
+	e.stats.Cycles++
+	var g Group
+	linesUsed := 0
+	var end uint64
+	newLine := true
+	for len(g.Recs) < maxInsts {
+		rec, ok := e.s.peek(0)
+		if !ok {
+			break
+		}
+		if newLine {
+			if linesUsed >= e.cfg.Lines {
+				break
+			}
+			linesUsed++
+			end = e.lineEnd(rec.PC)
+			newLine = false
+		}
+		if rec.PC >= end {
+			// Fall-through past the line boundary: the next instruction
+			// needs another line read.
+			newLine = true
+			continue
+		}
+		if rec.Op.IsControl() {
+			correct := e.c.fetchControl(rec)
+			if counted(rec) {
+				e.stats.Predictions++
+			}
+			g.Recs = append(g.Recs, rec)
+			e.s.advance(1)
+			if !correct {
+				e.stats.Mispredicts++
+				g.Mispredict = true
+				break
+			}
+			if rec.Taken {
+				// Redirect: the target lies in another (noncontiguous)
+				// line.
+				newLine = true
+			}
+			continue
+		}
+		g.Recs = append(g.Recs, rec)
+		e.s.advance(1)
+	}
+	e.stats.Insts += uint64(len(g.Recs))
+	e.stats.CoreInsts += uint64(len(g.Recs))
+	return g, true
+}
+
+var _ Engine = (*CollapsingBuffer)(nil)

@@ -1,0 +1,129 @@
+package fetch
+
+import (
+	"testing"
+
+	"valuepred/internal/btb"
+	"valuepred/internal/workload"
+)
+
+func TestCollapsingBufferDelivery(t *testing.T) {
+	recs := loopTrace(t, 100, 4) // 6-inst iterations with a taken back edge
+	e := NewCollapsingBuffer(recs, btb.NewPerfect(), DefaultCBConfig())
+	var seq uint64
+	groups := drain(t, e, 40)
+	for _, g := range groups {
+		for _, r := range g.Recs {
+			if r.Seq != seq {
+				t.Fatalf("out of order at seq %d", r.Seq)
+			}
+			seq++
+		}
+	}
+	if seq != uint64(len(recs)) {
+		t.Fatalf("delivered %d of %d", seq, len(recs))
+	}
+	if e.Stats().Cycles == 0 || e.Stats().Insts != uint64(len(recs)) {
+		t.Errorf("stats = %+v", e.Stats())
+	}
+}
+
+// TestCollapsingBufferLineLimits: each group touches at most cfg.Lines
+// cache lines, so its instructions come from at most that many aligned
+// regions / taken-branch targets.
+func TestCollapsingBufferLineLimits(t *testing.T) {
+	recs := loopTrace(t, 300, 1) // 3-inst iterations: many taken branches
+	cfg := DefaultCBConfig()
+	e := NewCollapsingBuffer(recs, btb.NewPerfect(), cfg)
+	for _, g := range drain(t, e, 1<<20) {
+		taken := 0
+		for _, r := range g.Recs {
+			if r.Op.IsControl() && r.Taken {
+				taken++
+			}
+		}
+		// With 2 lines per cycle at most one taken branch can be crossed
+		// (the second line's terminating taken branch ends the group).
+		if taken > cfg.Lines {
+			t.Fatalf("group crossed %d taken branches with %d lines", taken, cfg.Lines)
+		}
+		if len(g.Recs) > cfg.Lines*cfg.LineInsts {
+			t.Fatalf("group of %d insts exceeds %d lines of %d",
+				len(g.Recs), cfg.Lines, cfg.LineInsts)
+		}
+	}
+}
+
+// TestCollapsingBufferBeatsSingleLine: two lines per cycle must deliver at
+// least the bandwidth of one line per cycle.
+func TestCollapsingBufferBandwidth(t *testing.T) {
+	recs := workload.MustTrace("ijpeg", 1, 20_000)
+	cycles := func(lines int) uint64 {
+		cfg := DefaultCBConfig()
+		cfg.Lines = lines
+		e := NewCollapsingBuffer(recs, btb.NewPerfect(), cfg)
+		var n uint64
+		for {
+			if _, ok := e.NextGroup(64); !ok {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	one, two := cycles(1), cycles(2)
+	if two > one {
+		t.Errorf("2-line fetch needs more cycles (%d) than 1-line (%d)", two, one)
+	}
+	if two == one {
+		t.Error("second line added no bandwidth on a loopy workload")
+	}
+}
+
+func TestCollapsingBufferFallThroughLines(t *testing.T) {
+	// A straight-line block longer than one cache line must consume two
+	// line reads in a cycle.
+	recs := loopTrace(t, 10, 40) // 42-inst iterations span 3 lines
+	cfg := DefaultCBConfig()
+	e := NewCollapsingBuffer(recs, btb.NewPerfect(), cfg)
+	g, ok := e.NextGroup(1 << 10)
+	if !ok {
+		t.Fatal("no group")
+	}
+	if len(g.Recs) > cfg.Lines*cfg.LineInsts {
+		t.Fatalf("group of %d exceeds two lines", len(g.Recs))
+	}
+	if len(g.Recs) <= cfg.LineInsts {
+		t.Errorf("group of %d did not use the second line", len(g.Recs))
+	}
+}
+
+func TestCollapsingBufferMispredict(t *testing.T) {
+	recs := loopTrace(t, 50, 4)
+	e := NewCollapsingBuffer(recs, btb.NewTwoLevel(btb.DefaultTwoLevelConfig()), DefaultCBConfig())
+	sawMis := false
+	for _, g := range drain(t, e, 64) {
+		if g.Mispredict {
+			sawMis = true
+			if !g.Recs[len(g.Recs)-1].Op.IsControl() {
+				t.Fatal("mispredict group does not end at a control instruction")
+			}
+		}
+	}
+	if !sawMis {
+		t.Error("cold BTB never mispredicted")
+	}
+}
+
+func TestCollapsingBufferConfigPanics(t *testing.T) {
+	for _, cfg := range []CBConfig{{LineInsts: 0, Lines: 2}, {LineInsts: 12, Lines: 2}, {LineInsts: 16, Lines: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewCollapsingBuffer(nil, btb.NewPerfect(), cfg)
+		}()
+	}
+}

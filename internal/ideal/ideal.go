@@ -1,0 +1,263 @@
+// Package ideal implements the paper's Section 3 machine model: an ideal
+// execution environment limited only by true-data dependencies, the
+// instruction window size and an artificial fetch/issue width. Control
+// dependencies, name dependencies and structural conflicts do not exist;
+// every instruction has unit latency; the machine has a four-stage pipeline
+// (Fetch, Decode/Issue, Execute, Commit) so the earliest execute cycle of
+// an instruction is its fetch cycle plus two (Table 3.2).
+//
+// Value prediction follows the paper's protocol: the predictor is looked up
+// at fetch and updated speculatively; a consumer whose producer's output
+// was correctly predicted (and endorsed by the classifier) may execute
+// before that producer does. A correct prediction is only *useful* when the
+// consumer would otherwise have waited — the paper's central measurement.
+package ideal
+
+import (
+	"fmt"
+
+	"valuepred/internal/predictor"
+	"valuepred/internal/trace"
+)
+
+// Config parameterises the ideal machine.
+type Config struct {
+	// FetchWidth is the fetch/issue limit in instructions per cycle
+	// (the paper sweeps 4, 8, 16, 32, 40).
+	FetchWidth int
+	// WindowSize is the instruction window (paper: 40). An instruction
+	// occupies a window slot from fetch until it executes.
+	WindowSize int
+	// Predictor enables value prediction when non-nil.
+	Predictor predictor.Predictor
+	// IncludeMemoryDeps makes a load depend on the most recent store to
+	// the same address (the value can still be predicted away).
+	IncludeMemoryDeps bool
+	// MispredictPenalty is the extra delay, beyond normal producer-to-
+	// consumer forwarding, suffered by a consumer that speculated on a
+	// wrong value (Section 3: 0, instant reschedule).
+	MispredictPenalty int
+	// OracleVP models the perfect value predictor of the Table 3.2
+	// walk-through: every value-producing instruction is predicted
+	// correctly. It overrides Predictor.
+	OracleVP bool
+	// Observer, when non-nil, is called as each instruction executes with
+	// its sequence number, fetch cycle and execute cycle (commit follows
+	// one cycle after execute).
+	Observer func(seq, fetchCycle, execCycle uint64)
+}
+
+// DefaultConfig returns the paper's Section 3 configuration at the given
+// fetch width, without a predictor.
+func DefaultConfig(width int) Config {
+	return Config{FetchWidth: width, WindowSize: 40, IncludeMemoryDeps: true}
+}
+
+// Result reports the simulation outcome.
+type Result struct {
+	// Insts and Cycles give the committed instruction count and the total
+	// cycles; IPC is their ratio.
+	Insts  uint64
+	Cycles uint64
+	// Attempted counts confident predictions made at fetch; Correct those
+	// matching the committed value. Used counts correct predictions that
+	// decoupled at least one consumer from an unexecuted producer; Useless
+	// is Correct - Used (correct but the consumers' operands were ready
+	// anyway — the phenomenon of Section 3). Wrong = Attempted - Correct.
+	Attempted uint64
+	Correct   uint64
+	Used      uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Useless returns the number of correct-but-unneeded predictions.
+func (r Result) Useless() uint64 { return r.Correct - r.Used }
+
+// Wrong returns the number of consumed-or-not mispredictions.
+func (r Result) Wrong() uint64 { return r.Attempted - r.Correct }
+
+// Speedup returns the relative IPC gain of r over base in percent.
+func Speedup(base, r Result) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return (r.IPC()/base.IPC() - 1) * 100
+}
+
+// producerInfo is the bookkeeping for one in-flight (or executed) dynamic
+// instruction viewed as a producer.
+type producerInfo struct {
+	execCycle  uint64
+	done       bool
+	predicted  bool // confident prediction existed at fetch
+	correct    bool // ... and matched the actual value
+	usefulSeen bool // a consumer was decoupled by it (counted once)
+}
+
+// windowEntry is one instruction in flight.
+type windowEntry struct {
+	seq       uint64
+	fetchedAt uint64
+	earliest  uint64 // fetch cycle + 2 (pipeline depth)
+	availAt   uint64 // max availability over resolved operand constraints
+	prod      *producerInfo
+	waitOn    []*producerInfo // unpredicted in-flight producers
+	mispredOn []*producerInfo // consumed mispredictions, still in flight
+	specOn    []*producerInfo // correct predictions being speculated on
+}
+
+// ready reports whether the entry can execute at cycle.
+func (w *windowEntry) ready(cycle uint64) bool {
+	return len(w.waitOn) == 0 && len(w.mispredOn) == 0 &&
+		w.earliest <= cycle && w.availAt <= cycle
+}
+
+// resolve folds newly executed producers into availAt.
+func (w *windowEntry) resolve(penalty uint64) {
+	n := 0
+	for _, p := range w.waitOn {
+		if p.done {
+			if at := p.execCycle + 1; at > w.availAt {
+				w.availAt = at
+			}
+		} else {
+			w.waitOn[n] = p
+			n++
+		}
+	}
+	w.waitOn = w.waitOn[:n]
+	n = 0
+	for _, p := range w.mispredOn {
+		if p.done {
+			if at := p.execCycle + 1 + penalty; at > w.availAt {
+				w.availAt = at
+			}
+		} else {
+			w.mispredOn[n] = p
+			n++
+		}
+	}
+	w.mispredOn = w.mispredOn[:n]
+}
+
+// Run simulates the trace under cfg and returns the result.
+func Run(src trace.Source, cfg Config) (Result, error) {
+	if cfg.FetchWidth <= 0 || cfg.WindowSize <= 0 {
+		return Result{}, fmt.Errorf("ideal: invalid config %+v", cfg)
+	}
+	var res Result
+	var regProd [32]*producerInfo
+	memProd := make(map[uint64]*producerInfo)
+	window := make([]*windowEntry, 0, cfg.WindowSize)
+	penalty := uint64(cfg.MispredictPenalty)
+
+	var cycle uint64 = 1
+	eof := false
+	for {
+		// Execute phase: every ready entry executes this cycle (unlimited
+		// functional units). Entries are in fetch order, so a producer
+		// executing this cycle is marked done before later consumers in
+		// the same sweep — a same-cycle consumer counts as decoupled.
+		n := 0
+		for _, w := range window {
+			w.resolve(penalty)
+			if w.ready(cycle) {
+				w.prod.execCycle = cycle
+				w.prod.done = true
+				res.Insts++
+				if cfg.Observer != nil {
+					cfg.Observer(w.seq, w.fetchedAt, cycle)
+				}
+				for _, p := range w.specOn {
+					// Useful iff the producer had not finished strictly
+					// before this consumer executed.
+					if (!p.done || p.execCycle >= cycle) && !p.usefulSeen {
+						p.usefulSeen = true
+						res.Used++
+					}
+				}
+			} else {
+				window[n] = w
+				n++
+			}
+		}
+		window = window[:n]
+
+		// Fetch phase: up to FetchWidth instructions while the window has
+		// room; they may execute two cycles later.
+		for f := 0; f < cfg.FetchWidth && len(window) < cfg.WindowSize && !eof; f++ {
+			rec, ok := src.Next()
+			if !ok {
+				eof = true
+				break
+			}
+			w := &windowEntry{seq: rec.Seq, fetchedAt: cycle, earliest: cycle + 2, prod: &producerInfo{}}
+
+			if cfg.OracleVP && rec.WritesValue() {
+				w.prod.predicted = true
+				w.prod.correct = true
+				res.Attempted++
+				res.Correct++
+			} else if cfg.Predictor != nil && rec.WritesValue() {
+				pr := cfg.Predictor.Lookup(rec.PC)
+				if pr.Confident {
+					w.prod.predicted = true
+					w.prod.correct = pr.Value == rec.Val
+					res.Attempted++
+					if w.prod.correct {
+						res.Correct++
+					}
+				}
+				cfg.Predictor.Update(rec.PC, rec.Val)
+			}
+
+			addDep := func(p *producerInfo) {
+				switch {
+				case p == nil:
+					return
+				case p.done:
+					if at := p.execCycle + 1; at > w.availAt {
+						w.availAt = at
+					}
+				case p.predicted && p.correct:
+					w.specOn = append(w.specOn, p)
+				case p.predicted: // consumed misprediction
+					w.mispredOn = append(w.mispredOn, p)
+				default:
+					w.waitOn = append(w.waitOn, p)
+				}
+			}
+			if rec.Op.ReadsRs1() && rec.Rs1 != 0 {
+				addDep(regProd[rec.Rs1])
+			}
+			if rec.Op.ReadsRs2() && rec.Rs2 != 0 {
+				addDep(regProd[rec.Rs2])
+			}
+			if cfg.IncludeMemoryDeps && rec.Op.IsLoad() {
+				addDep(memProd[rec.Addr])
+			}
+
+			if rec.WritesValue() {
+				regProd[rec.Rd] = w.prod
+			}
+			if cfg.IncludeMemoryDeps && rec.Op.IsStore() {
+				memProd[rec.Addr] = w.prod
+			}
+			window = append(window, w)
+		}
+
+		if eof && len(window) == 0 {
+			break
+		}
+		cycle++
+	}
+	res.Cycles = cycle
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package predictor
+
+import "fmt"
+
+// Classifier is the paper's classification unit: a set of per-instruction
+// saturating counters that accumulate confidence in the predictor's output
+// for that instruction. A prediction is endorsed only when the counter is at
+// or above the confidence threshold.
+type Classifier struct {
+	counters  map[uint64]uint8
+	maxCount  uint8
+	threshold uint8
+}
+
+// NewClassifier returns a classifier with bits-wide saturating counters
+// (bits in 1..6) endorsing predictions when the counter >= threshold. The
+// paper's configuration is NewClassifier(2, 2): 2-bit counters, predict in
+// the upper half.
+func NewClassifier(bits, threshold int) *Classifier {
+	if bits < 1 || bits > 6 {
+		panic(fmt.Sprintf("predictor: classifier counter width %d out of range", bits))
+	}
+	maxCount := uint8(1<<bits - 1)
+	if threshold < 0 || uint8(threshold) > maxCount {
+		panic(fmt.Sprintf("predictor: classifier threshold %d out of range for %d bits", threshold, bits))
+	}
+	return &Classifier{
+		counters:  make(map[uint64]uint8),
+		maxCount:  maxCount,
+		threshold: uint8(threshold),
+	}
+}
+
+// Confident reports whether the counter for pc endorses speculation.
+func (c *Classifier) Confident(pc uint64) bool {
+	return c.counters[pc] >= c.threshold
+}
+
+// Record trains the counter for pc with the correctness of the last
+// prediction: saturating increment when correct, saturating decrement when
+// wrong.
+func (c *Classifier) Record(pc uint64, correct bool) {
+	n := c.counters[pc]
+	if correct {
+		if n < c.maxCount {
+			c.counters[pc] = n + 1
+		}
+		return
+	}
+	if n > 0 {
+		c.counters[pc] = n - 1
+	}
+}
+
+// Classified combines an inner value predictor with a classification unit:
+// the paper's "stride predictor with a set of saturated counters". The
+// inner table is always consulted and trained; the classifier gates the
+// Confident bit.
+type Classified struct {
+	Inner Predictor
+	Class *Classifier
+}
+
+// NewClassifiedStride returns the paper's Section 3/5 configuration: an
+// infinite stride predictor gated by 2-bit saturating counters.
+func NewClassifiedStride() *Classified {
+	return &Classified{Inner: NewStride(), Class: NewClassifier(2, 2)}
+}
+
+// Name implements Predictor.
+func (p *Classified) Name() string { return p.Inner.Name() + "+2bc" }
+
+// Lookup implements Predictor.
+func (p *Classified) Lookup(pc uint64) Prediction {
+	pr := p.Inner.Lookup(pc)
+	pr.Confident = pr.HasValue && p.Class.Confident(pc)
+	return pr
+}
+
+// Update implements Predictor: it trains the classifier with whether the
+// inner predictor would have been correct, then updates the inner table.
+func (p *Classified) Update(pc uint64, actual uint64) {
+	pr := p.Inner.Lookup(pc)
+	if pr.HasValue {
+		p.Class.Record(pc, pr.Value == actual)
+	}
+	p.Inner.Update(pc, actual)
+}
+
+// LastAndStride implements StrideSource when the inner predictor does.
+func (p *Classified) LastAndStride(pc uint64) (uint64, int64, bool) {
+	if s, ok := p.Inner.(StrideSource); ok {
+		return s.LastAndStride(pc)
+	}
+	return 0, 0, false
+}

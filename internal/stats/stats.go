@@ -1,0 +1,303 @@
+// Package stats provides the result-table type shared by the experiment
+// runners: labelled rows of numeric cells with fixed-width text and CSV
+// rendering, plus small aggregation helpers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a labelled grid of numeric results, one row per benchmark and
+// one column per configuration.
+type Table struct {
+	// Title names the experiment ("Figure 5.1 — ...").
+	Title string
+	// RowHeader labels the row-label column (usually "benchmark").
+	RowHeader string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows in presentation order.
+	Rows []Row
+	// Unit is appended to rendered cells ("%", "", ...).
+	Unit string
+	// Notes are free-form annotations rendered under the table.
+	Notes []string
+}
+
+// Row is one labelled row of cells.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// AddNote appends a rendering note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AppendAverage adds an arithmetic-mean row labelled "average" over the
+// current rows.
+func (t *Table) AppendAverage() {
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		return
+	}
+	avg := make([]float64, len(t.Columns))
+	for _, r := range t.Rows {
+		for i, c := range r.Cells {
+			if i < len(avg) {
+				avg[i] += c
+			}
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(t.Rows))
+	}
+	t.AddRow("average", avg...)
+}
+
+// Row returns the row with the given label and whether it exists.
+func (t *Table) Row(label string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Cell returns the value at (rowLabel, column) and whether it exists.
+func (t *Table) Cell(rowLabel, column string) (float64, bool) {
+	r, ok := t.Row(rowLabel)
+	if !ok {
+		return 0, false
+	}
+	for i, c := range t.Columns {
+		if c == column && i < len(r.Cells) {
+			return r.Cells[i], true
+		}
+	}
+	return 0, false
+}
+
+// Render writes the table as fixed-width text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	labelW := len(t.RowHeader)
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s", labelW, t.RowHeader)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "  %*s", colW[i], c)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", len(sb.String())-1))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW, r.Label)
+		for i := range t.Columns {
+			cell := "-"
+			if i < len(r.Cells) {
+				cell = fmt.Sprintf("%.1f%s", r.Cells[i], t.Unit)
+			}
+			fmt.Fprintf(&sb, "  %*s", colW[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (label, then one column per header).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(t.RowHeader))
+	for _, c := range t.Columns {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(c))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString(csvEscape(r.Label))
+		for i := range t.Columns {
+			sb.WriteByte(',')
+			if i < len(r.Cells) {
+				fmt.Fprintf(&sb, "%g", r.Cells[i])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured Markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + t.RowHeader)
+	for _, c := range t.Columns {
+		sb.WriteString(" | " + c)
+	}
+	sb.WriteString(" |\n|")
+	for i := 0; i <= len(t.Columns); i++ {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString("| " + r.Label)
+		for i := range t.Columns {
+			if i < len(r.Cells) {
+				fmt.Fprintf(&sb, " | %.1f%s", r.Cells[i], t.Unit)
+			} else {
+				sb.WriteString(" | -")
+			}
+		}
+		sb.WriteString(" |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*%s*\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// AverageTables element-wise averages tables with identical structure
+// (same title, columns and row labels), for multi-seed experiment runs.
+func AverageTables(tables []*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("stats: no tables to average")
+	}
+	first := tables[0]
+	out := &Table{
+		Title:     first.Title,
+		RowHeader: first.RowHeader,
+		Columns:   append([]string(nil), first.Columns...),
+		Unit:      first.Unit,
+	}
+	for ri, r := range first.Rows {
+		cells := make([]float64, len(r.Cells))
+		for _, t := range tables {
+			if len(t.Rows) != len(first.Rows) || t.Rows[ri].Label != r.Label ||
+				len(t.Rows[ri].Cells) != len(r.Cells) {
+				return nil, fmt.Errorf("stats: table shapes differ (row %q)", r.Label)
+			}
+			for ci, c := range t.Rows[ri].Cells {
+				cells[ci] += c
+			}
+		}
+		for ci := range cells {
+			cells[ci] /= float64(len(tables))
+		}
+		out.AddRow(r.Label, cells...)
+	}
+	if len(tables) > 1 {
+		out.AddNote("averaged over %d seeds", len(tables))
+	}
+	return out, nil
+}
+
+// RenderChart writes the table as a grouped horizontal ASCII bar chart, the
+// closest terminal analogue of the paper's figures. Bars are scaled to the
+// largest absolute cell value; negative cells render to the same scale with
+// a minus marker.
+func (t *Table) RenderChart(w io.Writer) error {
+	const barWidth = 40
+	var max float64
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if a := abs(c); a > max {
+				max = a
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	colW := 0
+	for _, c := range t.Columns {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%s\n", r.Label)
+		for i, col := range t.Columns {
+			if i >= len(r.Cells) {
+				continue
+			}
+			v := r.Cells[i]
+			n := int(abs(v)/max*barWidth + 0.5)
+			if n > barWidth {
+				n = barWidth
+			}
+			mark := strings.Repeat("#", n)
+			sign := ""
+			if v < 0 {
+				sign = "-"
+			}
+			fmt.Fprintf(&sb, "  %-*s |%-*s| %s%.1f%s\n",
+				colW, col, barWidth, mark, sign, abs(v), t.Unit)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:     "Demo",
+		RowHeader: "benchmark",
+		Columns:   []string{"a", "b"},
+		Unit:      "%",
+	}
+	t.AddRow("go", 1, 2)
+	t.AddRow("gcc", 3, 4)
+	return t
+}
+
+func TestAppendAverage(t *testing.T) {
+	tab := sample()
+	tab.AppendAverage()
+	r, ok := tab.Row("average")
+	if !ok {
+		t.Fatal("no average row")
+	}
+	if r.Cells[0] != 2 || r.Cells[1] != 3 {
+		t.Errorf("average = %v", r.Cells)
+	}
+	// Average of an empty table is a no-op.
+	empty := &Table{Columns: []string{"a"}}
+	empty.AppendAverage()
+	if len(empty.Rows) != 0 {
+		t.Error("average row added to empty table")
+	}
+}
+
+func TestCellLookup(t *testing.T) {
+	tab := sample()
+	if v, ok := tab.Cell("gcc", "b"); !ok || v != 4 {
+		t.Errorf("Cell = %v, %v", v, ok)
+	}
+	if _, ok := tab.Cell("gcc", "z"); ok {
+		t.Error("missing column found")
+	}
+	if _, ok := tab.Cell("perl", "a"); ok {
+		t.Error("missing row found")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	tab := sample()
+	tab.AddNote("hello %d", 7)
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "benchmark", "go", "1.0%", "4.0%", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMissingCells(t *testing.T) {
+	tab := &Table{RowHeader: "r", Columns: []string{"a", "b"}}
+	tab.AddRow("short", 1) // only one cell
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Error("missing cell not rendered as dash")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := sample()
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "benchmark,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "go,1,2" || lines[2] != "gcc,3,4" {
+		t.Errorf("rows = %q", lines[1:])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{RowHeader: "r", Columns: []string{`weird "col", yes`}}
+	tab.AddRow("a,b", 1)
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"weird ""col"", yes"`) || !strings.Contains(out, `"a,b"`) {
+		t.Errorf("escaping wrong: %q", out)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := sample()
+	tab.AddNote("a note")
+	var sb strings.Builder
+	if err := tab.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**Demo**", "| benchmark | a | b |", "|---|---|---|", "| go | 1.0% | 2.0% |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	short := &Table{RowHeader: "r", Columns: []string{"a", "b"}}
+	short.AddRow("x", 1)
+	sb.Reset()
+	if err := short.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| - |") {
+		t.Error("missing cell not dashed")
+	}
+}
+
+func TestAverageTables(t *testing.T) {
+	a, b := sample(), sample()
+	for i := range b.Rows {
+		for j := range b.Rows[i].Cells {
+			b.Rows[i].Cells[j] += 2
+		}
+	}
+	avg, err := AverageTables([]*Table{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := avg.Cell("go", "a"); v != 2 {
+		t.Errorf("averaged cell = %v, want 2", v)
+	}
+	if len(avg.Notes) == 0 {
+		t.Error("multi-table average should note the seed count")
+	}
+	// Shape mismatches are rejected.
+	c := sample()
+	c.Rows[0].Label = "other"
+	if _, err := AverageTables([]*Table{a, c}); err == nil {
+		t.Error("mismatched tables averaged")
+	}
+	if _, err := AverageTables(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	tab := sample()
+	tab.AddRow("neg", -4, 0)
+	var sb strings.Builder
+	if err := tab.RenderChart(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "go", "####", "-4.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest cell uses the full bar; nothing exceeds it.
+	if strings.Contains(out, strings.Repeat("#", 41)) {
+		t.Error("bar exceeds the chart width")
+	}
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Error("largest cell should use the full bar width")
+	}
+	// All-zero tables still render.
+	zero := &Table{RowHeader: "r", Columns: []string{"a"}}
+	zero.AddRow("x", 0)
+	sb.Reset()
+	if err := zero.RenderChart(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

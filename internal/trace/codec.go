@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"valuepred/internal/isa"
+)
+
+// The binary trace format is a sequence of varint-delta-encoded records
+// preceded by a small header. It exists so that cmd/vptrace can persist
+// traces and other tools can re-read them without re-running the emulator.
+
+var magic = [4]byte{'V', 'P', 'T', '1'}
+
+// Writer encodes trace records to an underlying stream.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	lastPC  uint64
+	buf     []byte
+	n       uint64
+}
+
+// NewWriter returns a Writer emitting the binary trace format to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, binary.MaxVarintLen64)}
+}
+
+func (tw *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(tw.buf, v)
+	_, err := tw.w.Write(tw.buf[:n])
+	return err
+}
+
+func (tw *Writer) putVarint(v int64) error {
+	n := binary.PutVarint(tw.buf, v)
+	_, err := tw.w.Write(tw.buf[:n])
+	return err
+}
+
+// Write appends one record. Records must be written in Seq order.
+func (tw *Writer) Write(r Rec) error {
+	if !tw.started {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return err
+		}
+		tw.started = true
+	}
+	// PC is delta-encoded against the previous record's PC: sequential code
+	// compresses to one byte per field.
+	if err := tw.putVarint(int64(r.PC) - int64(tw.lastPC)); err != nil {
+		return err
+	}
+	tw.lastPC = r.PC
+	flags := uint64(0)
+	if r.Taken {
+		flags = 1
+	}
+	head := uint64(r.Op) | uint64(r.Rd)<<8 | uint64(r.Rs1)<<16 | uint64(r.Rs2)<<24 | flags<<32
+	if err := tw.putUvarint(head); err != nil {
+		return err
+	}
+	if err := tw.putVarint(r.Imm); err != nil {
+		return err
+	}
+	if err := tw.putUvarint(r.Val); err != nil {
+		return err
+	}
+	if err := tw.putUvarint(r.Addr); err != nil {
+		return err
+	}
+	if r.Op.IsControl() {
+		if err := tw.putUvarint(r.Target); err != nil {
+			return err
+		}
+	}
+	tw.n++
+	return nil
+}
+
+// Flush writes any buffered data to the underlying stream.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Reader decodes the binary trace format and implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	seq    uint64
+	lastPC uint64
+	header bool
+	err    error
+}
+
+// NewReader returns a Reader over the binary trace format in r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the first decoding error other than a clean end of trace.
+func (tr *Reader) Err() error { return tr.err }
+
+// Next implements Source.
+func (tr *Reader) Next() (Rec, bool) {
+	if tr.err != nil {
+		return Rec{}, false
+	}
+	if !tr.header {
+		var m [4]byte
+		if _, err := io.ReadFull(tr.r, m[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				tr.err = err
+			}
+			return Rec{}, false
+		}
+		if m != magic {
+			tr.err = fmt.Errorf("trace: bad magic %q", m[:])
+			return Rec{}, false
+		}
+		tr.header = true
+	}
+	dpc, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			tr.err = err
+		}
+		return Rec{}, false
+	}
+	var r Rec
+	r.Seq = tr.seq
+	r.PC = uint64(int64(tr.lastPC) + dpc)
+	tr.lastPC = r.PC
+	head, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		tr.err = fmt.Errorf("trace: truncated record %d: %w", tr.seq, err)
+		return Rec{}, false
+	}
+	r.Op = isa.Opcode(head & 0xff)
+	r.Rd = isa.Reg(head >> 8 & 0xff)
+	r.Rs1 = isa.Reg(head >> 16 & 0xff)
+	r.Rs2 = isa.Reg(head >> 24 & 0xff)
+	r.Taken = head>>32&1 != 0
+	if r.Imm, err = binary.ReadVarint(tr.r); err != nil {
+		tr.err = fmt.Errorf("trace: truncated record %d: %w", tr.seq, err)
+		return Rec{}, false
+	}
+	if r.Val, err = binary.ReadUvarint(tr.r); err != nil {
+		tr.err = fmt.Errorf("trace: truncated record %d: %w", tr.seq, err)
+		return Rec{}, false
+	}
+	if r.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+		tr.err = fmt.Errorf("trace: truncated record %d: %w", tr.seq, err)
+		return Rec{}, false
+	}
+	if r.Op.IsControl() {
+		if r.Target, err = binary.ReadUvarint(tr.r); err != nil {
+			tr.err = fmt.Errorf("trace: truncated record %d: %w", tr.seq, err)
+			return Rec{}, false
+		}
+	} else {
+		r.Target = r.PC + isa.InstBytes
+	}
+	tr.seq++
+	return r, true
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the binary trace decoder: it must
+// never panic or loop, only return records or a clean error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid stream and a few corruptions of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sampleRecs() {
+		if err := w.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("VPT1"))
+	corrupted := append([]byte{}, valid...)
+	if len(corrupted) > 10 {
+		corrupted[8] ^= 0xFF
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if rec.Seq != uint64(n) {
+				t.Fatalf("non-consecutive Seq %d at record %d", rec.Seq, n)
+			}
+			n++
+			if n > len(data)+1 {
+				t.Fatalf("decoded more records (%d) than input bytes (%d)", n, len(data))
+			}
+		}
+		// Err may or may not be set; it must just not panic.
+		_ = r.Err()
+	})
+}

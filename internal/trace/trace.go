@@ -1,0 +1,168 @@
+// Package trace defines the dynamic instruction trace records produced by
+// the functional emulator and consumed by every analysis and machine model
+// in this repository. A trace plays the role of the paper's Shade traces:
+// the committed, architecturally correct instruction stream of a workload,
+// annotated with the produced values, branch outcomes and memory addresses.
+package trace
+
+import (
+	"fmt"
+
+	"valuepred/internal/isa"
+)
+
+// Rec is one dynamic (committed) instruction.
+type Rec struct {
+	// Seq is the dynamic appearance order, starting at 0. The paper's
+	// Dynamic Instruction Distance between a producer p and consumer c is
+	// c.Seq - p.Seq.
+	Seq uint64
+	// PC is the instruction's address.
+	PC uint64
+	// Op, Rd, Rs1, Rs2 and Imm mirror the static instruction.
+	Op  isa.Opcode
+	Rd  isa.Reg
+	Rs1 isa.Reg
+	Rs2 isa.Reg
+	Imm int64
+	// Val is the value written to Rd, valid only when Op.WritesRd() and
+	// Rd != 0. For stores Val holds the stored value (useful for
+	// store-to-load forwarding checks).
+	Val uint64
+	// Addr is the effective address of a load or store.
+	Addr uint64
+	// Taken reports whether a control instruction redirected the PC.
+	// Unconditional jumps are always taken.
+	Taken bool
+	// Target is the address of the next dynamic instruction (fall-through
+	// or branch/jump target).
+	Target uint64
+}
+
+// WritesValue reports whether the record produced an observable register
+// value, i.e. whether it is a candidate for value prediction. Writes to x0
+// are architectural no-ops and are excluded.
+func (r Rec) WritesValue() bool { return r.Op.WritesRd() && r.Rd != 0 }
+
+// String renders the record for debugging.
+func (r Rec) String() string {
+	in := isa.Inst{Op: r.Op, Rd: r.Rd, Rs1: r.Rs1, Rs2: r.Rs2, Imm: r.Imm}
+	s := fmt.Sprintf("#%d %#x: %s", r.Seq, r.PC, in)
+	if r.WritesValue() {
+		s += fmt.Sprintf(" ; %s=%d", r.Rd, int64(r.Val))
+	}
+	if r.Op.IsControl() {
+		s += fmt.Sprintf(" ; taken=%v -> %#x", r.Taken, r.Target)
+	}
+	return s
+}
+
+// Source is a pull-style stream of trace records. Implementations must
+// return records in dynamic program order with consecutive Seq numbers
+// starting at 0.
+type Source interface {
+	// Next returns the next record, or ok=false at end of trace.
+	Next() (rec Rec, ok bool)
+}
+
+// SliceSource streams an in-memory trace. It is the replayable form used by
+// experiments that must run the same trace through several machine
+// configurations.
+type SliceSource struct {
+	recs []Rec
+	pos  int
+}
+
+// NewSliceSource returns a Source over recs.
+func NewSliceSource(recs []Rec) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return Rec{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset rewinds the source to the beginning of the trace.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of records in the trace.
+func (s *SliceSource) Len() int { return len(s.recs) }
+
+// Collect drains a Source into a slice, stopping after max records
+// (max <= 0 means no limit).
+func Collect(src Source, max int) []Rec {
+	var out []Rec
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Summary holds aggregate statistics of a trace.
+type Summary struct {
+	Insts         uint64 // total dynamic instructions
+	ValueWriters  uint64 // records with WritesValue()
+	Loads         uint64
+	Stores        uint64
+	CondBranches  uint64
+	TakenCond     uint64
+	Jumps         uint64
+	StaticPCs     int // distinct instruction addresses touched
+	TakenControls uint64
+}
+
+// Summarize scans recs and returns aggregate statistics.
+func Summarize(recs []Rec) Summary {
+	var s Summary
+	pcs := make(map[uint64]struct{})
+	for _, r := range recs {
+		s.Insts++
+		pcs[r.PC] = struct{}{}
+		if r.WritesValue() {
+			s.ValueWriters++
+		}
+		switch {
+		case r.Op.IsLoad():
+			s.Loads++
+		case r.Op.IsStore():
+			s.Stores++
+		case r.Op.IsBranch():
+			s.CondBranches++
+			if r.Taken {
+				s.TakenCond++
+			}
+		case r.Op.IsJump():
+			s.Jumps++
+		}
+		if r.Op.IsControl() && r.Taken {
+			s.TakenControls++
+		}
+	}
+	s.StaticPCs = len(pcs)
+	return s
+}
+
+// String renders the summary as a short report.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"insts=%d writers=%d loads=%d stores=%d condbr=%d (taken %.1f%%) jumps=%d staticPCs=%d",
+		s.Insts, s.ValueWriters, s.Loads, s.Stores, s.CondBranches,
+		100*float64(s.TakenCond)/float64(max64(s.CondBranches, 1)), s.Jumps, s.StaticPCs)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

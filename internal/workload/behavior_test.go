@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"valuepred/internal/isa"
+	"valuepred/internal/trace"
+)
+
+// pcHits counts dynamic executions per static PC.
+func pcHits(recs []trace.Rec) map[uint64]uint64 {
+	h := make(map[uint64]uint64)
+	for _, r := range recs {
+		h[r.PC]++
+	}
+	return h
+}
+
+// symbolPC resolves a code label to its address for the given benchmark.
+func symbolPC(t *testing.T, name, label string, seed int64) uint64 {
+	t.Helper()
+	s, ok := Get(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	prog, err := s.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := prog.Symbols[label]
+	if !ok {
+		t.Fatalf("%s has no label %q", name, label)
+	}
+	return addr
+}
+
+// TestM88ksimExercisesAllHandlers: the interpreter must reach every opcode
+// handler its guest program uses, through the indirect dispatch jump.
+func TestM88ksimExercisesAllHandlers(t *testing.T) {
+	recs := MustTrace("m88ksim", 1, 100_000)
+	hits := pcHits(recs)
+	for _, label := range []string{"op_li", "op_add", "op_addi", "op_mul", "op_ld", "op_st", "op_blt", "op_beq"} {
+		if hits[symbolPC(t, "m88ksim", label, 1)] == 0 {
+			t.Errorf("handler %s never executed", label)
+		}
+	}
+	// The dispatch JALR must dominate the indirect-jump profile.
+	jalrs := 0
+	for _, r := range recs {
+		if r.Op == isa.JALR {
+			jalrs++
+		}
+	}
+	if jalrs < len(recs)/40 {
+		t.Errorf("only %d indirect dispatches in %d insts", jalrs, len(recs))
+	}
+}
+
+// TestCompressDictionaryBehaviour: the LZW loop must take both the hit and
+// the miss paths, and the dictionary must fill substantially.
+func TestCompressDictionaryBehaviour(t *testing.T) {
+	recs := MustTrace("compress95", 1, 60_000)
+	hits := pcHits(recs)
+	found := hits[symbolPC(t, "compress95", "found", 1)]
+	miss := hits[symbolPC(t, "compress95", "miss", 1)]
+	if found == 0 || miss == 0 {
+		t.Errorf("LZW paths unbalanced: found=%d miss=%d", found, miss)
+	}
+	// Misses must dominate early (cold dictionary) but hits must exist:
+	// typical text compresses, so hits are a sizeable minority.
+	if found*20 < miss {
+		t.Errorf("suspiciously few dictionary hits: found=%d miss=%d", found, miss)
+	}
+}
+
+// TestGCCCompilesEveryStatement: the parser entry must run once per
+// generated statement per pass.
+func TestGCCCompilesEveryStatement(t *testing.T) {
+	recs := MustTrace("gcc", 1, 400_000)
+	passPC := symbolPC(t, "gcc", "pass_loop", 1)
+	stmtPC := symbolPC(t, "gcc", "parse_stmt", 1)
+	// Count parse_stmt entries strictly inside the first pass.
+	passStarts := 0
+	var stmt uint64
+	for _, r := range recs {
+		if r.PC == passPC {
+			passStarts++
+			if passStarts == 2 {
+				break
+			}
+		}
+		if r.PC == stmtPC {
+			stmt++
+		}
+	}
+	if passStarts < 2 {
+		t.Fatal("first pass did not complete in 400k instructions")
+	}
+	// One parse_stmt per ';'-terminated statement in the source.
+	src := gccSource(1)
+	var want uint64
+	for _, c := range src {
+		if c == ';' {
+			want++
+		}
+	}
+	if stmt != want {
+		t.Errorf("parse_stmt ran %d times in pass 1, want %d", stmt, want)
+	}
+}
+
+// TestLiRecursionDepth: the evaluator must actually recurse (sp dips well
+// below the stack top).
+func TestLiRecursionDepth(t *testing.T) {
+	recs := MustTrace("li", 1, 60_000)
+	minSP := uint64(1) << 63
+	for _, r := range recs {
+		if r.Op == isa.SD && r.Rs1 == isa.SP && r.Addr < minSP {
+			minSP = r.Addr
+		}
+	}
+	if minSP == uint64(1)<<63 {
+		t.Fatal("no stack traffic observed")
+	}
+	depth := (isa.StackTop - minSP) / 24 // eval frame is 24 bytes
+	if depth < 3 {
+		t.Errorf("max recursion depth %d, expected deep eval recursion", depth)
+	}
+}
+
+// TestVortexTransactionMix: all three transaction handlers must run, and
+// the record arena must stay inside its bounds.
+func TestVortexTransactionMix(t *testing.T) {
+	m, recs, err := Run("vortex", 1, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := pcHits(recs)
+	for _, label := range []string{"do_insert", "do_lookup", "do_update", "chase_loop"} {
+		if hits[symbolPC(t, "vortex", label, 1)] == 0 {
+			t.Errorf("%s never executed", label)
+		}
+	}
+	// The bump allocator must have materialised records inside the arena:
+	// the first record's id field is 1 after the first insert.
+	lo := m.Program().Symbol("objects")
+	if got := m.Mem().Read64(lo); got != 1 {
+		t.Errorf("first record id = %d, want 1", got)
+	}
+}
+
+// TestPerlSortsEveryWord: the insertion sort must run per word, and the
+// bucket table must produce anagram groups (hit path taken).
+func TestPerlSortsEveryWord(t *testing.T) {
+	recs := MustTrace("perl", 1, 120_000)
+	hits := pcHits(recs)
+	if hits[symbolPC(t, "perl", "sort_outer", 1)] == 0 {
+		t.Fatal("insertion sort never ran")
+	}
+	if hits[symbolPC(t, "perl", "bucket_hit", 1)] == 0 {
+		t.Error("no anagram bucket hits — generator should create collisions")
+	}
+	if hits[symbolPC(t, "perl", "bucket_new", 1)] == 0 {
+		t.Error("no new buckets created")
+	}
+}
+
+// TestIjpegBlocksCovered: all 16 blocks of the image are transformed per
+// pass (the block loops reach their bounds).
+func TestIjpegBlocksCovered(t *testing.T) {
+	recs := MustTrace("ijpeg", 1, 500_000)
+	hits := pcHits(recs)
+	zz := hits[symbolPC(t, "ijpeg", "zz_loop", 1)]
+	if zz == 0 {
+		t.Fatal("zigzag loop never ran")
+	}
+	// 64 zigzag steps per block, 16 blocks per pass.
+	if zz < 64*16 {
+		t.Errorf("only %d zigzag iterations; first pass incomplete", zz)
+	}
+}
+
+// TestGoPrunes: alpha-beta must actually prune (the early exit from the
+// child loop is taken) and recursion must reach the leaf evaluator.
+func TestGoPrunes(t *testing.T) {
+	recs := MustTrace("go", 1, 200_000)
+	hits := pcHits(recs)
+	retBest := hits[symbolPC(t, "go", "ret_best", 1)]
+	childLoop := hits[symbolPC(t, "go", "child_loop", 1)]
+	if retBest == 0 || childLoop == 0 {
+		t.Fatal("negamax structure not exercised")
+	}
+	// Without pruning every interior node iterates exactly goBranch times;
+	// with pruning the average is lower.
+	if childLoop >= retBest*goBranch {
+		t.Errorf("no pruning: %d child iterations for %d nodes", childLoop, retBest)
+	}
+}

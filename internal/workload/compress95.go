@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// compress95: adaptive LZW compression (the SPEC95 compress analogue). The
+// program compresses a synthetic text buffer with a hash-probed dictionary,
+// folding the emitted code stream into a checksum. The dictionary is cleared
+// when it reaches maxCodes, mirroring compress's CLEAR handling. After each
+// pass the input is perturbed in place by the PRNG.
+
+const (
+	lzwInputLen  = 2048
+	lzwTableSize = 8192 // power of two
+	lzwMaxCodes  = 4096
+	lzwHashK     = 0x9E3779B97F4A7C15
+	lzwHashShift = 51 // 64 - log2(lzwTableSize)
+)
+
+func init() {
+	register(Spec{
+		Name:        "compress95",
+		Description: "Data compression program using adaptive Lempel-Ziv coding.",
+		Build:       buildCompress,
+		Golden:      goldenCompress,
+	})
+}
+
+func compressInput(seed int64) []byte {
+	return genText(NewRand(seed^0x5e95), lzwInputLen)
+}
+
+func buildCompress(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	input := compressInput(seed)
+
+	// Register plan for the main loop:
+	//   s0 input base     s1 i          s2 N            s3 w
+	//   s4 next_code      s5 keys base  s6 codes base   s7 checksum
+	//   s8 table mask     s9 pass       s10 hash K      s11 31 (fold mult)
+	b.La(isa.S0, "input")
+	b.Li(isa.S2, lzwInputLen)
+	b.La(isa.S5, "dict_keys")
+	b.La(isa.S6, "dict_codes")
+	b.Li(isa.S8, lzwTableSize-1)
+	b.Li(isa.S9, 1) // pass counter
+	b.Li(isa.S10, imm64(lzwHashK))
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	// Clear the dictionary key table.
+	b.Mv(isa.T0, isa.S5)
+	b.Li(isa.T1, lzwTableSize*8)
+	b.Add(isa.T1, isa.T0, isa.T1)
+	b.Label("clear_loop")
+	b.Sd(isa.Zero, isa.T0, 0)
+	b.Addi(isa.T0, isa.T0, 8)
+	b.Blt(isa.T0, isa.T1, "clear_loop")
+	b.Li(isa.S4, 256) // next_code
+	b.Li(isa.S7, 0)   // checksum
+	// w = input[0]; i = 1
+	b.Lb(isa.S3, isa.S0, 0)
+	b.Li(isa.S1, 1)
+
+	b.Label("byte_loop")
+	b.Bge(isa.S1, isa.S2, "flush")
+	b.Add(isa.T0, isa.S0, isa.S1)
+	b.Lb(isa.T0, isa.T0, 0) // c
+	// key = w<<8 | c
+	b.Slli(isa.T1, isa.S3, 8)
+	b.Or(isa.T1, isa.T1, isa.T0)
+	// h = (key * K) >> 51
+	b.Mul(isa.T2, isa.T1, isa.S10)
+	b.Srli(isa.T2, isa.T2, lzwHashShift)
+	b.Label("probe")
+	b.Slli(isa.T3, isa.T2, 3)
+	b.Add(isa.T3, isa.T3, isa.S5)
+	b.Ld(isa.T4, isa.T3, 0)
+	b.Beq(isa.T4, isa.T1, "found")
+	b.Beqz(isa.T4, "miss")
+	b.Addi(isa.T2, isa.T2, 1)
+	b.And(isa.T2, isa.T2, isa.S8)
+	b.J("probe")
+
+	b.Label("found")
+	// w = dict_codes[h]
+	b.Slli(isa.T3, isa.T2, 3)
+	b.Add(isa.T3, isa.T3, isa.S6)
+	b.Ld(isa.S3, isa.T3, 0)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.J("byte_loop")
+
+	b.Label("miss")
+	// emit w: checksum = checksum*31 + w
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.S3)
+	// dictionary full? clear instead of inserting (compress CLEAR).
+	b.Li(isa.T4, lzwMaxCodes)
+	b.Bge(isa.S4, isa.T4, "dict_full")
+	// insert key -> next_code at slot h (t3 still points at the key slot)
+	b.Sd(isa.T1, isa.T3, 0)
+	b.Slli(isa.T4, isa.T2, 3)
+	b.Add(isa.T4, isa.T4, isa.S6)
+	b.Sd(isa.S4, isa.T4, 0)
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Mv(isa.S3, isa.T0) // w = c
+	b.Addi(isa.S1, isa.S1, 1)
+	b.J("byte_loop")
+
+	b.Label("dict_full")
+	b.Mv(isa.T0, isa.S5)
+	b.Li(isa.T1, lzwTableSize*8)
+	b.Add(isa.T1, isa.T0, isa.T1)
+	b.Label("clear2_loop")
+	b.Sd(isa.Zero, isa.T0, 0)
+	b.Addi(isa.T0, isa.T0, 8)
+	b.Blt(isa.T0, isa.T1, "clear2_loop")
+	b.Li(isa.S4, 256)
+	// After a clear the current byte restarts the phrase: w = c; i++.
+	b.Add(isa.T0, isa.S0, isa.S1)
+	b.Lb(isa.S3, isa.T0, 0)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.J("byte_loop")
+
+	b.Label("flush")
+	// emit final w and the code count
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.S3)
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.S4)
+	// store checksum; first pass also stores the golden value
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+
+	b.Label("perturb")
+	// Perturb 128 pseudo-random input bytes: in[idx] = ((in[idx] ^ r) & 0xff) | 1.
+	b.Li(isa.S3, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Andi(isa.T0, isa.A7, lzwInputLen-1)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Srli(isa.T2, isa.A7, 11)
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Andi(isa.T1, isa.T1, 0xff)
+	b.Ori(isa.T1, isa.T1, 1)
+	b.Sb(isa.T1, isa.T0, 0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 128)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	emitRNG(b, "rng_state", uint64(seed)^0xc0135)
+	b.Bytes("input", input)
+	b.Space("dict_keys", lzwTableSize*8)
+	b.Space("dict_codes", lzwTableSize*8)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenCompress replays the first pass in Go. The emitted code sequence
+// depends only on the dictionary mapping, so a plain map reproduces it as
+// long as the CLEAR points match.
+func goldenCompress(seed int64) uint64 {
+	input := compressInput(seed)
+	dict := make(map[uint64]uint64)
+	nextCode := uint64(256)
+	var checksum uint64
+	emit := func(code uint64) { checksum = checksum*31 + code }
+	w := uint64(input[0])
+	for i := 1; i < len(input); {
+		c := uint64(input[i])
+		key := w<<8 | c
+		if code, ok := dict[key]; ok {
+			w = code
+			i++
+			continue
+		}
+		emit(w)
+		if nextCode >= lzwMaxCodes {
+			dict = make(map[uint64]uint64)
+			nextCode = 256
+			w = uint64(input[i])
+			i++
+			continue
+		}
+		dict[key] = nextCode
+		nextCode++
+		w = c
+		i++
+	}
+	emit(w)
+	emit(nextCode)
+	return checksum
+}

@@ -1,0 +1,342 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"valuepred/internal/asm"
+	"valuepred/internal/emu"
+	"valuepred/internal/isa"
+)
+
+// TestRandBasics covers the PRNG used by every input generator.
+func TestRandBasics(t *testing.T) {
+	r := NewRand(0) // zero seed remaps to a fixed constant
+	if r.Next() == 0 {
+		t.Error("xorshift must never produce zero from a nonzero state")
+	}
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("PRNG not deterministic")
+		}
+	}
+	if NewRand(1).Next() == NewRand(2).Next() {
+		t.Error("different seeds produced the same first value")
+	}
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := NewRand(int64(n) + 1).Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewRand(1).Intn(0) != 0 || NewRand(1).Intn(-5) != 0 {
+		t.Error("Intn of non-positive bound must be 0")
+	}
+}
+
+// TestEmitRNGMatchesGo locks the assembly rng_next routine to the Go Rand:
+// a tiny program draws 32 values and stores them; they must equal the Go
+// sequence exactly. Every workload's perturbation path depends on this.
+func TestEmitRNGMatchesGo(t *testing.T) {
+	const n = 32
+	const seed = 0xABCDEF
+	b := asm.NewBuilder()
+	b.La(isa.S0, "out")
+	b.Li(isa.S1, 0)
+	b.Label("loop")
+	b.Call("rng_next")
+	b.Slli(isa.T0, isa.S1, 3)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Sd(isa.A7, isa.T0, 0)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Slti(isa.T0, isa.S1, n)
+	b.Bnez(isa.T0, "loop")
+	b.Halt()
+	emitRNG(b, "rng_state", seed)
+	b.Space("out", n*8)
+	m := emu.New(asm.MustAssemble(b))
+	m.Run(0)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	ref := &Rand{state: seed}
+	base := m.Program().Symbol("out")
+	for i := 0; i < n; i++ {
+		want := ref.Next()
+		if got := m.Mem().Read64(base + uint64(8*i)); got != want {
+			t.Fatalf("draw %d: asm %#x, go %#x", i, got, want)
+		}
+	}
+}
+
+func TestGenText(t *testing.T) {
+	txt := genText(NewRand(3), 1000)
+	if len(txt) != 1000 {
+		t.Fatalf("length = %d", len(txt))
+	}
+	for i, c := range txt {
+		if !(c == ' ' || c == '\n' || (c >= 'a' && c <= 'z')) {
+			t.Fatalf("byte %d = %q out of alphabet", i, c)
+		}
+	}
+}
+
+func TestGenWords(t *testing.T) {
+	words := genWords(NewRand(4), 128)
+	if len(words) != 128 {
+		t.Fatalf("count = %d", len(words))
+	}
+	anagrams := 0
+	for i, w := range words {
+		if len(w) < 3 || len(w) > 8 {
+			t.Fatalf("word %d length %d", i, len(w))
+		}
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q has non-letter", w)
+			}
+		}
+		if i > 0 && len(words[i-1]) == len(w) {
+			anagrams++
+		}
+	}
+	if anagrams == 0 {
+		t.Error("generator produced no candidate anagram pairs")
+	}
+}
+
+func TestGenImage(t *testing.T) {
+	img := genImage(NewRand(5), 32, 32)
+	if len(img) != 1024 {
+		t.Fatalf("size = %d", len(img))
+	}
+	// The gradient must make the image non-constant.
+	allSame := true
+	for _, px := range img {
+		if px != img[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("image is constant")
+	}
+}
+
+func TestT88EncodeDecode(t *testing.T) {
+	f := func(op, rd, rs, rt uint8, imm int16) bool {
+		w := t88Enc(int(op), int(rd), int(rs), int(rt), int64(imm))
+		return int(w&0xff) == int(op) &&
+			int(w>>8&0xf) == int(rd&0xf) &&
+			int(w>>12&0xf) == int(rs&0xf) &&
+			int(w>>16&0xf) == int(rt&0xf) &&
+			int16(w>>32) == imm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestT88ProgramShape(t *testing.T) {
+	prog := t88Program(7)
+	if len(prog) == 0 {
+		t.Fatal("empty guest program")
+	}
+	for i, w := range prog {
+		op := int(w & 0xff)
+		if op >= t88NumOps {
+			t.Errorf("guest inst %d has bad opcode %d", i, op)
+		}
+	}
+	// Branch targets must stay inside the program.
+	for i, w := range prog {
+		op := int(w & 0xff)
+		if op == t88Beq || op == t88Bne || op == t88Blt {
+			imm := int64(int16(w >> 32))
+			tgt := int64(i) + imm
+			if tgt < 0 || tgt >= int64(len(prog)) {
+				t.Errorf("guest branch %d targets %d", i, tgt)
+			}
+		}
+	}
+}
+
+func TestGCCSourceWellFormed(t *testing.T) {
+	src := gccSource(9)
+	if len(src) != gccSrcBytes {
+		t.Fatalf("source length = %d, want %d", len(src), gccSrcBytes)
+	}
+	depth := 0
+	terminated := false
+	for _, c := range src {
+		switch {
+		case c == 0:
+			terminated = true
+		case terminated && c != 0:
+			t.Fatal("bytes after terminator")
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				t.Fatal("unbalanced parentheses")
+			}
+		}
+	}
+	if !terminated || depth != 0 {
+		t.Fatalf("terminated=%v depth=%d", terminated, depth)
+	}
+}
+
+func TestLiForestStructure(t *testing.T) {
+	cells, roots, leaves := liForest(11)
+	if len(roots) != liNumTrees {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	if len(leaves) == 0 {
+		t.Fatal("no leaves")
+	}
+	for _, idx := range append(append([]int64{}, roots...), leaves...) {
+		if idx < 0 || idx >= int64(len(cells)) {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+	for i, c := range cells {
+		if c.tag < liTagNum || c.tag > liTagMax {
+			t.Errorf("cell %d tag %d", i, c.tag)
+		}
+		if c.tag != liTagNum {
+			if c.left >= int64(i) || c.right >= int64(i) {
+				t.Errorf("cell %d references later cells (left %d right %d)", i, c.left, c.right)
+			}
+		}
+	}
+	for _, l := range leaves {
+		if cells[l].tag != liTagNum {
+			t.Errorf("leaf %d is not a number cell", l)
+		}
+	}
+}
+
+func TestJpgZigzagIsPermutation(t *testing.T) {
+	z := jpgZigzag()
+	if len(z) != 64 {
+		t.Fatalf("length = %d", len(z))
+	}
+	seen := map[int64]bool{}
+	for _, idx := range z {
+		if idx < 0 || idx > 63 || seen[idx] {
+			t.Fatalf("zigzag not a permutation: %v", z)
+		}
+		seen[idx] = true
+	}
+	// First entries of the standard zigzag: 0, 1, 8, 16, 9, 2.
+	want := []int64{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if z[i] != w {
+			t.Errorf("zigzag[%d] = %d, want %d", i, z[i], w)
+		}
+	}
+}
+
+func TestJpgDCTMatrix(t *testing.T) {
+	c := jpgCosMatrix()
+	// Row 0 is the DC basis: constant.
+	for x := 1; x < 8; x++ {
+		if c[x] != c[0] {
+			t.Errorf("DC row not constant: %v", c[:8])
+		}
+	}
+	if c[0] <= 0 {
+		t.Error("DC coefficient must be positive")
+	}
+	// Basis rows are orthogonal in the continuous transform; in the
+	// integer approximation, the dot product of rows 1 and 2 is near zero
+	// relative to their norms.
+	var dot, n1, n2 int64
+	for x := 0; x < 8; x++ {
+		dot += c[8+x] * c[16+x]
+		n1 += c[8+x] * c[8+x]
+		n2 += c[16+x] * c[16+x]
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Fatal("degenerate basis rows")
+	}
+	if dot > n1/8 || dot < -n1/8 {
+		t.Errorf("rows 1 and 2 far from orthogonal: dot %d, norms %d %d", dot, n1, n2)
+	}
+	for _, q := range jpgQuantTable() {
+		if q <= 0 {
+			t.Fatal("non-positive quantisation divisor")
+		}
+	}
+}
+
+func TestVortexScriptShape(t *testing.T) {
+	txs := vortexScript(13)
+	if len(txs) != vtxNumTx {
+		t.Fatalf("script length = %d", len(txs))
+	}
+	for i := 0; i < 8; i++ {
+		if txs[i]&3 != vtxInsert {
+			t.Errorf("tx %d is not an insert", i)
+		}
+	}
+	counts := map[uint64]int{}
+	for _, w := range txs {
+		counts[w&3]++
+	}
+	if counts[vtxInsert] < vtxNumTx/8 {
+		t.Errorf("too few inserts: %v", counts)
+	}
+	if counts[vtxLookup]+counts[vtxLookup2] < vtxNumTx/4 {
+		t.Errorf("too few lookups: %v", counts)
+	}
+}
+
+func TestPerlPackWords(t *testing.T) {
+	words := []string{"abc", "defgh"}
+	buf := perlPackWords(words)
+	if len(buf) != 2*perlWordBytes {
+		t.Fatalf("buffer = %d bytes", len(buf))
+	}
+	if buf[0] != 3 || string(buf[1:4]) != "abc" {
+		t.Errorf("record 0 = %v", buf[:perlWordBytes])
+	}
+	if buf[perlWordBytes] != 5 || string(buf[perlWordBytes+1:perlWordBytes+6]) != "defgh" {
+		t.Errorf("record 1 = %v", buf[perlWordBytes:])
+	}
+}
+
+// TestGoldenDeterminism: golden models are pure functions of the seed.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, s := range All() {
+		if s.Golden(42) != s.Golden(42) {
+			t.Errorf("%s golden not deterministic", s.Name)
+		}
+		if s.Golden(1) == s.Golden(2) {
+			t.Errorf("%s golden identical across seeds", s.Name)
+		}
+	}
+}
+
+// TestBuildersProduceDistinctPrograms: seeds must alter the data segment.
+func TestBuildersProduceDistinctPrograms(t *testing.T) {
+	for _, s := range All() {
+		p1, err := s.Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		p2, err := s.Build(2)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(p1.Insts) != len(p2.Insts) {
+			t.Errorf("%s: text differs across seeds (%d vs %d insts)",
+				s.Name, len(p1.Insts), len(p2.Insts))
+		}
+	}
+}

@@ -1,0 +1,630 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// gcc: a compiler. The program compiles a buffer of assignment statements
+// ("xy = 12 + a * (3 - b);") through three real phases — a character-class
+// lexer, a recursive-descent parser building AST nodes in an arena, and a
+// recursive code generator emitting a stack-machine instruction stream that
+// is folded into the checksum. Irregular token-dependent control flow gives
+// the modest value predictability the paper observes for gcc.
+
+// Token types.
+const (
+	gccTokEOF = iota
+	gccTokIdent
+	gccTokNum
+	gccTokPlus
+	gccTokMinus
+	gccTokStar
+	gccTokSlash
+	gccTokLParen
+	gccTokRParen
+	gccTokAssign
+	gccTokSemi
+)
+
+// AST node kinds.
+const (
+	gccNodeNum = iota
+	gccNodeVar
+	gccNodeAdd
+	gccNodeSub
+	gccNodeMul
+	gccNodeDiv
+	gccNodeAssign
+)
+
+// Stack-machine opcodes emitted by the code generator.
+const (
+	gccOpPush  = 1
+	gccOpLoad  = 2
+	gccOpStore = 3
+	gccOpAdd   = 4
+	gccOpSub   = 5
+	gccOpMul   = 6
+	gccOpDiv   = 7
+)
+
+const (
+	gccNumStmts  = 256
+	gccSrcBytes  = 8192
+	gccMaxTokens = 4096
+	gccMaxNodes  = 4096
+)
+
+func init() {
+	register(Spec{
+		Name:        "gcc",
+		Description: "A GNU C compiler version 2.5.3.",
+		Build:       buildGCC,
+		Golden:      goldenGCC,
+	})
+}
+
+// gccSource generates the source text compiled by the benchmark.
+func gccSource(seed int64) []byte {
+	r := NewRand(seed ^ 0x6cc)
+	var out []byte
+	ident := func() {
+		n := 1 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			out = append(out, byte('a'+r.Intn(26)))
+		}
+	}
+	number := func() {
+		v := 1 + r.Intn(999)
+		if v < 10 {
+			out = append(out, byte('0'+v))
+			return
+		}
+		var digits []byte
+		for v > 0 {
+			digits = append(digits, byte('0'+v%10))
+			v /= 10
+		}
+		for i := len(digits) - 1; i >= 0; i-- {
+			out = append(out, digits[i])
+		}
+	}
+	var expr func(depth int)
+	factor := func(depth int) {
+		switch {
+		case depth < 3 && r.Intn(4) == 0:
+			out = append(out, '(')
+			expr(depth + 1)
+			out = append(out, ')')
+		case r.Intn(2) == 0:
+			number()
+		default:
+			ident()
+		}
+	}
+	expr = func(depth int) {
+		factor(depth)
+		for n := r.Intn(3); n > 0; n-- {
+			out = append(out, " +-*/"[1+r.Intn(4)])
+			factor(depth)
+		}
+	}
+	for s := 0; s < gccNumStmts && len(out) < gccSrcBytes-64; s++ {
+		ident()
+		out = append(out, ' ', '=', ' ')
+		expr(0)
+		out = append(out, ';', '\n')
+	}
+	out = append(out, 0) // terminator
+	// Pad to the full buffer size so the in-place perturbation loop always
+	// indexes inside the symbol.
+	for len(out) < gccSrcBytes {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func buildGCC(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	src := gccSource(seed)
+
+	// Register plan:
+	//   s0 src base      s1 tokens base  s2 lexer write cursor (token idx)
+	//   s3 lexer byte i  s4 parser token cursor  s5 node arena ptr
+	//   s6 arena base    s7 checksum     s9 pass  s11 31
+	b.La(isa.S0, "src")
+	b.La(isa.S1, "tokens")
+	b.La(isa.S6, "nodes")
+	b.Li(isa.S9, 1)
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	b.Li(isa.S7, 0)
+	b.Mv(isa.S5, isa.S6)
+
+	// ---- phase 1: lexer ----
+	b.Li(isa.S2, 0)
+	b.Li(isa.S3, 0)
+	b.Label("lex_loop")
+	b.Add(isa.T0, isa.S0, isa.S3)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Beqz(isa.T1, "lex_done")
+	// whitespace?
+	b.Li(isa.T2, ' ')
+	b.Beq(isa.T1, isa.T2, "lex_skip")
+	b.Li(isa.T2, '\n')
+	b.Beq(isa.T1, isa.T2, "lex_skip")
+	// letter?
+	b.Li(isa.T2, 'a')
+	b.Blt(isa.T1, isa.T2, "lex_not_letter")
+	b.Li(isa.T2, 'z'+1)
+	b.Bge(isa.T1, isa.T2, "lex_not_letter")
+	// ident: value = value*26 + (c-'a') while letters
+	b.Li(isa.T3, 0)
+	b.Label("lex_ident")
+	b.Li(isa.T4, 26)
+	b.Mul(isa.T3, isa.T3, isa.T4)
+	b.Addi(isa.T1, isa.T1, -'a')
+	b.Add(isa.T3, isa.T3, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Add(isa.T0, isa.S0, isa.S3)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Li(isa.T2, 'a')
+	b.Blt(isa.T1, isa.T2, "lex_ident_done")
+	b.Li(isa.T2, 'z'+1)
+	b.Blt(isa.T1, isa.T2, "lex_ident")
+	b.Label("lex_ident_done")
+	b.Li(isa.T1, gccTokIdent)
+	b.J("lex_store")
+	b.Label("lex_not_letter")
+	// digit?
+	b.Li(isa.T2, '0')
+	b.Blt(isa.T1, isa.T2, "lex_punct")
+	b.Li(isa.T2, '9'+1)
+	b.Bge(isa.T1, isa.T2, "lex_punct")
+	b.Li(isa.T3, 0)
+	b.Label("lex_num")
+	b.Li(isa.T4, 10)
+	b.Mul(isa.T3, isa.T3, isa.T4)
+	b.Addi(isa.T1, isa.T1, -'0')
+	b.Add(isa.T3, isa.T3, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Add(isa.T0, isa.S0, isa.S3)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Li(isa.T2, '0')
+	b.Blt(isa.T1, isa.T2, "lex_num_done")
+	b.Li(isa.T2, '9'+1)
+	b.Blt(isa.T1, isa.T2, "lex_num")
+	b.Label("lex_num_done")
+	b.Li(isa.T1, gccTokNum)
+	b.J("lex_store")
+	// punctuation chain
+	b.Label("lex_punct")
+	b.Li(isa.T3, 0)
+	punct := []struct {
+		ch  byte
+		tok int64
+	}{
+		{'+', gccTokPlus}, {'-', gccTokMinus}, {'*', gccTokStar},
+		{'/', gccTokSlash}, {'(', gccTokLParen}, {')', gccTokRParen},
+		{'=', gccTokAssign}, {';', gccTokSemi},
+	}
+	for _, p := range punct {
+		lbl := "lex_p_" + string(p.ch)
+		b.Li(isa.T2, int64(p.ch))
+		b.Bne(isa.T1, isa.T2, lbl)
+		b.Li(isa.T1, p.tok)
+		b.Addi(isa.S3, isa.S3, 1)
+		b.J("lex_store")
+		b.Label(lbl)
+	}
+	// unknown byte: skip it
+	b.Label("lex_skip")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("lex_loop")
+	b.Label("lex_store")
+	// tokens[cursor] = (type, value); cursor++
+	b.Slli(isa.T0, isa.S2, 4)
+	b.Add(isa.T0, isa.T0, isa.S1)
+	b.Sd(isa.T1, isa.T0, 0)
+	b.Sd(isa.T3, isa.T0, 8)
+	b.Addi(isa.S2, isa.S2, 1)
+	b.J("lex_loop")
+	b.Label("lex_done")
+	// terminator token
+	b.Slli(isa.T0, isa.S2, 4)
+	b.Add(isa.T0, isa.T0, isa.S1)
+	b.Sd(isa.Zero, isa.T0, 0)
+	b.Sd(isa.Zero, isa.T0, 8)
+
+	// ---- phase 2+3: parse and generate per statement ----
+	b.Li(isa.S4, 0)
+	b.Label("compile_loop")
+	b.Slli(isa.T0, isa.S4, 4)
+	b.Add(isa.T0, isa.T0, isa.S1)
+	b.Ld(isa.T1, isa.T0, 0)
+	b.Beqz(isa.T1, "pass_end")
+	b.Call("parse_stmt")
+	b.Call("gen") // a0 = root node
+	b.J("compile_loop")
+
+	b.Label("pass_end")
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+	// Perturb 64 random digit bytes: '1'..'8' increment, '9'->'1', '0'->'5'.
+	b.Label("perturb")
+	b.Li(isa.S3, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Andi(isa.T0, isa.A7, gccSrcBytes-1)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Li(isa.T2, '0')
+	b.Blt(isa.T1, isa.T2, "perturb_next")
+	b.Li(isa.T2, '9')
+	b.Blt(isa.T2, isa.T1, "perturb_next")
+	b.Beq(isa.T1, isa.T2, "perturb_nine")
+	b.Li(isa.T2, '0')
+	b.Beq(isa.T1, isa.T2, "perturb_zero")
+	b.Addi(isa.T1, isa.T1, 1)
+	b.J("perturb_store")
+	b.Label("perturb_nine")
+	b.Li(isa.T1, '1')
+	b.J("perturb_store")
+	b.Label("perturb_zero")
+	b.Li(isa.T1, '5')
+	b.Label("perturb_store")
+	b.Sb(isa.T1, isa.T0, 0)
+	b.Label("perturb_next")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 64)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	// --- helpers ---
+
+	// curType/curVal inline sequences.
+	curType := func(dst isa.Reg) {
+		b.Slli(dst, isa.S4, 4)
+		b.Add(dst, dst, isa.S1)
+		b.Ld(dst, dst, 0)
+	}
+	curVal := func(dst isa.Reg) {
+		b.Slli(dst, isa.S4, 4)
+		b.Add(dst, dst, isa.S1)
+		b.Ld(dst, dst, 8)
+	}
+
+	// new_node(a0=kind, a1=left, a2=right, a3=value) -> a0 = node ptr.
+	b.Label("new_node")
+	b.Sd(isa.A0, isa.S5, 0)
+	b.Sd(isa.A1, isa.S5, 8)
+	b.Sd(isa.A2, isa.S5, 16)
+	b.Sd(isa.A3, isa.S5, 24)
+	b.Mv(isa.A0, isa.S5)
+	b.Addi(isa.S5, isa.S5, 32)
+	b.Ret()
+
+	// parse_stmt: ident '=' expr ';' -> a0 = assign node.
+	b.Label("parse_stmt")
+	b.Addi(isa.SP, isa.SP, -16)
+	b.Sd(isa.RA, isa.SP, 0)
+	curVal(isa.A3)
+	b.Addi(isa.S4, isa.S4, 1) // consume ident
+	b.Li(isa.A0, gccNodeVar)
+	b.Li(isa.A1, 0)
+	b.Li(isa.A2, 0)
+	b.Call("new_node")
+	b.Sd(isa.A0, isa.SP, 8)   // var node
+	b.Addi(isa.S4, isa.S4, 1) // consume '='
+	b.Call("parse_expr")
+	b.Mv(isa.A2, isa.A0)
+	b.Ld(isa.A1, isa.SP, 8)
+	b.Li(isa.A0, gccNodeAssign)
+	b.Li(isa.A3, 0)
+	b.Call("new_node")
+	b.Addi(isa.S4, isa.S4, 1) // consume ';'
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 16)
+	b.Ret()
+
+	// parse_expr: term (('+'|'-') term)* -> a0.
+	b.Label("parse_expr")
+	b.Addi(isa.SP, isa.SP, -16)
+	b.Sd(isa.RA, isa.SP, 0)
+	b.Call("parse_term")
+	b.Sd(isa.A0, isa.SP, 8) // left
+	b.Label("expr_loop")
+	curType(isa.T0)
+	b.Li(isa.T1, gccTokPlus)
+	b.Beq(isa.T0, isa.T1, "expr_add")
+	b.Li(isa.T1, gccTokMinus)
+	b.Beq(isa.T0, isa.T1, "expr_sub")
+	b.Ld(isa.A0, isa.SP, 8)
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 16)
+	b.Ret()
+	b.Label("expr_add")
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Call("parse_term")
+	b.Mv(isa.A2, isa.A0)
+	b.Ld(isa.A1, isa.SP, 8)
+	b.Li(isa.A0, gccNodeAdd)
+	b.Li(isa.A3, 0)
+	b.Call("new_node")
+	b.Sd(isa.A0, isa.SP, 8)
+	b.J("expr_loop")
+	b.Label("expr_sub")
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Call("parse_term")
+	b.Mv(isa.A2, isa.A0)
+	b.Ld(isa.A1, isa.SP, 8)
+	b.Li(isa.A0, gccNodeSub)
+	b.Li(isa.A3, 0)
+	b.Call("new_node")
+	b.Sd(isa.A0, isa.SP, 8)
+	b.J("expr_loop")
+
+	// parse_term: factor (('*'|'/') factor)* -> a0.
+	b.Label("parse_term")
+	b.Addi(isa.SP, isa.SP, -16)
+	b.Sd(isa.RA, isa.SP, 0)
+	b.Call("parse_factor")
+	b.Sd(isa.A0, isa.SP, 8)
+	b.Label("term_loop")
+	curType(isa.T0)
+	b.Li(isa.T1, gccTokStar)
+	b.Beq(isa.T0, isa.T1, "term_mul")
+	b.Li(isa.T1, gccTokSlash)
+	b.Beq(isa.T0, isa.T1, "term_div")
+	b.Ld(isa.A0, isa.SP, 8)
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 16)
+	b.Ret()
+	b.Label("term_mul")
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Call("parse_factor")
+	b.Mv(isa.A2, isa.A0)
+	b.Ld(isa.A1, isa.SP, 8)
+	b.Li(isa.A0, gccNodeMul)
+	b.Li(isa.A3, 0)
+	b.Call("new_node")
+	b.Sd(isa.A0, isa.SP, 8)
+	b.J("term_loop")
+	b.Label("term_div")
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Call("parse_factor")
+	b.Mv(isa.A2, isa.A0)
+	b.Ld(isa.A1, isa.SP, 8)
+	b.Li(isa.A0, gccNodeDiv)
+	b.Li(isa.A3, 0)
+	b.Call("new_node")
+	b.Sd(isa.A0, isa.SP, 8)
+	b.J("term_loop")
+
+	// parse_factor: number | ident | '(' expr ')' -> a0.
+	b.Label("parse_factor")
+	b.Addi(isa.SP, isa.SP, -16)
+	b.Sd(isa.RA, isa.SP, 0)
+	curType(isa.T0)
+	b.Li(isa.T1, gccTokNum)
+	b.Beq(isa.T0, isa.T1, "factor_num")
+	b.Li(isa.T1, gccTokIdent)
+	b.Beq(isa.T0, isa.T1, "factor_ident")
+	// parenthesised expression
+	b.Addi(isa.S4, isa.S4, 1) // consume '('
+	b.Call("parse_expr")
+	b.Addi(isa.S4, isa.S4, 1) // consume ')'
+	b.J("factor_ret")
+	b.Label("factor_num")
+	curVal(isa.A3)
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Li(isa.A0, gccNodeNum)
+	b.Li(isa.A1, 0)
+	b.Li(isa.A2, 0)
+	b.Call("new_node")
+	b.J("factor_ret")
+	b.Label("factor_ident")
+	curVal(isa.A3)
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Li(isa.A0, gccNodeVar)
+	b.Li(isa.A1, 0)
+	b.Li(isa.A2, 0)
+	b.Call("new_node")
+	b.Label("factor_ret")
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 16)
+	b.Ret()
+
+	// gen(a0 = node): recursive code generator; folds (op, operand) pairs
+	// into the checksum in s7.
+	emitFold := func(opReg, operandReg isa.Reg) {
+		b.Mul(isa.S7, isa.S7, isa.S11)
+		b.Add(isa.S7, isa.S7, opReg)
+		b.Mul(isa.S7, isa.S7, isa.S11)
+		b.Add(isa.S7, isa.S7, operandReg)
+	}
+	b.Label("gen")
+	b.Addi(isa.SP, isa.SP, -16)
+	b.Sd(isa.RA, isa.SP, 0)
+	b.Sd(isa.A0, isa.SP, 8)
+	b.Ld(isa.T0, isa.A0, 0) // kind
+	b.Li(isa.T1, gccNodeNum)
+	b.Beq(isa.T0, isa.T1, "gen_num")
+	b.Li(isa.T1, gccNodeVar)
+	b.Beq(isa.T0, isa.T1, "gen_var")
+	b.Li(isa.T1, gccNodeAssign)
+	b.Beq(isa.T0, isa.T1, "gen_assign")
+	// binary operator: gen(left); gen(right); emit op
+	b.Ld(isa.A0, isa.A0, 8)
+	b.Call("gen")
+	b.Ld(isa.A0, isa.SP, 8)
+	b.Ld(isa.A0, isa.A0, 16)
+	b.Call("gen")
+	b.Ld(isa.T0, isa.SP, 8)
+	b.Ld(isa.T0, isa.T0, 0) // kind again
+	b.Addi(isa.T0, isa.T0, gccOpAdd-gccNodeAdd)
+	emitFold(isa.T0, isa.Zero)
+	b.J("gen_ret")
+	b.Label("gen_num")
+	b.Ld(isa.T2, isa.A0, 24)
+	b.Li(isa.T0, gccOpPush)
+	emitFold(isa.T0, isa.T2)
+	b.J("gen_ret")
+	b.Label("gen_var")
+	b.Ld(isa.T2, isa.A0, 24)
+	b.Li(isa.T0, gccOpLoad)
+	emitFold(isa.T0, isa.T2)
+	b.J("gen_ret")
+	b.Label("gen_assign")
+	b.Ld(isa.A0, isa.A0, 16) // rhs
+	b.Call("gen")
+	b.Ld(isa.T0, isa.SP, 8)
+	b.Ld(isa.T0, isa.T0, 8)  // lhs var node
+	b.Ld(isa.T2, isa.T0, 24) // its name
+	b.Li(isa.T0, gccOpStore)
+	emitFold(isa.T0, isa.T2)
+	b.Label("gen_ret")
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 16)
+	b.Ret()
+
+	emitRNG(b, "rng_state", uint64(seed)^0x9cc11)
+	b.Bytes("src", src)
+	b.Space("tokens", gccMaxTokens*16)
+	b.Space("nodes", gccMaxNodes*32)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenGCC compiles the same source in pure Go, folding the identical
+// (op, operand) stream.
+func goldenGCC(seed int64) uint64 {
+	src := gccSource(seed)
+	// lex
+	type token struct {
+		typ int
+		val uint64
+	}
+	var toks []token
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == 0:
+			i = len(src)
+		case c == ' ' || c == '\n':
+			i++
+		case c >= 'a' && c <= 'z':
+			var v uint64
+			for i < len(src) && src[i] >= 'a' && src[i] <= 'z' {
+				v = v*26 + uint64(src[i]-'a')
+				i++
+			}
+			toks = append(toks, token{gccTokIdent, v})
+		case c >= '0' && c <= '9':
+			var v uint64
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				v = v*10 + uint64(src[i]-'0')
+				i++
+			}
+			toks = append(toks, token{gccTokNum, v})
+		default:
+			m := map[byte]int{'+': gccTokPlus, '-': gccTokMinus, '*': gccTokStar,
+				'/': gccTokSlash, '(': gccTokLParen, ')': gccTokRParen,
+				'=': gccTokAssign, ';': gccTokSemi}
+			if t, ok := m[c]; ok {
+				toks = append(toks, token{t, 0})
+			}
+			i++
+		}
+	}
+	toks = append(toks, token{gccTokEOF, 0})
+
+	// parse
+	type node struct {
+		kind        int
+		left, right *node
+		val         uint64
+	}
+	pos := 0
+	var parseExpr func() *node
+	parseFactor := func() *node {
+		t := toks[pos]
+		switch t.typ {
+		case gccTokNum:
+			pos++
+			return &node{kind: gccNodeNum, val: t.val}
+		case gccTokIdent:
+			pos++
+			return &node{kind: gccNodeVar, val: t.val}
+		default: // '('
+			pos++
+			e := parseExpr()
+			pos++ // ')'
+			return e
+		}
+	}
+	parseTerm := func() *node {
+		left := parseFactor()
+		for toks[pos].typ == gccTokStar || toks[pos].typ == gccTokSlash {
+			kind := gccNodeMul
+			if toks[pos].typ == gccTokSlash {
+				kind = gccNodeDiv
+			}
+			pos++
+			left = &node{kind: kind, left: left, right: parseFactor()}
+		}
+		return left
+	}
+	parseExpr = func() *node {
+		left := parseTerm()
+		for toks[pos].typ == gccTokPlus || toks[pos].typ == gccTokMinus {
+			kind := gccNodeAdd
+			if toks[pos].typ == gccTokMinus {
+				kind = gccNodeSub
+			}
+			pos++
+			left = &node{kind: kind, left: left, right: parseTerm()}
+		}
+		return left
+	}
+
+	// generate
+	var checksum uint64
+	fold := func(op int, operand uint64) {
+		checksum = checksum*31 + uint64(op)
+		checksum = checksum*31 + operand
+	}
+	var gen func(n *node)
+	gen = func(n *node) {
+		switch n.kind {
+		case gccNodeNum:
+			fold(gccOpPush, n.val)
+		case gccNodeVar:
+			fold(gccOpLoad, n.val)
+		case gccNodeAssign:
+			gen(n.right)
+			fold(gccOpStore, n.left.val)
+		default:
+			gen(n.left)
+			gen(n.right)
+			fold(n.kind+gccOpAdd-gccNodeAdd, 0)
+		}
+	}
+	for toks[pos].typ != gccTokEOF {
+		// statement: ident '=' expr ';'
+		v := &node{kind: gccNodeVar, val: toks[pos].val}
+		pos += 2
+		rhs := parseExpr()
+		pos++ // ';'
+		gen(&node{kind: gccNodeAssign, left: v, right: rhs})
+	}
+	return checksum
+}

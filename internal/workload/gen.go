@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// Rand is the xorshift64 PRNG used for all input generation and for the
+// in-program input perturbation between passes. The assembler-level routine
+// emitted by emitRNG implements exactly the same recurrence so that Go
+// golden models and emulated programs stay in lockstep.
+type Rand struct{ state uint64 }
+
+// NewRand returns a PRNG; a zero seed is remapped to a fixed constant
+// because xorshift64 has an all-zero fixed point.
+func NewRand(seed int64) *Rand {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: s}
+}
+
+// Next advances the generator and returns the new 64-bit state.
+func (r *Rand) Next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// emitRNG declares the PRNG state symbol (named stateSym) initialised to
+// seed, and emits the routine label rng_next:
+//
+//	a7 = next rng value; clobbers t5, t6 only.
+//
+// The routine is call-free (no stack traffic) so workloads can call it from
+// any context.
+func emitRNG(b *asm.Builder, stateSym string, seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	b.Quads(stateSym, int64(seed))
+	b.Label("rng_next")
+	b.La(isa.T5, stateSym)
+	b.Ld(isa.T6, isa.T5, 0)
+	b.Slli(isa.A7, isa.T6, 13)
+	b.Xor(isa.T6, isa.T6, isa.A7)
+	b.Srli(isa.A7, isa.T6, 7)
+	b.Xor(isa.T6, isa.T6, isa.A7)
+	b.Slli(isa.A7, isa.T6, 17)
+	b.Xor(isa.T6, isa.T6, isa.A7)
+	b.Sd(isa.T6, isa.T5, 0)
+	b.Mv(isa.A7, isa.T6)
+	b.Ret()
+}
+
+// imm64 converts an unsigned 64-bit constant to the signed immediate the
+// assembler DSL expects (a runtime conversion, since constant conversions
+// that overflow are rejected by the compiler).
+func imm64(v uint64) int64 { return int64(v) }
+
+// genText produces n bytes of synthetic English-like text (letters, spaces
+// and newlines with a second-order bias) used by compress95.
+func genText(r *Rand, n int) []byte {
+	const letters = "etaoinshrdlucmfwypvbgkjqxz"
+	out := make([]byte, n)
+	word := 0
+	for i := range out {
+		switch {
+		case word >= 3 && r.Intn(10) < 4:
+			out[i] = ' '
+			word = 0
+		default:
+			// Bias toward frequent letters and short-range repetition.
+			if i >= 2 && r.Intn(5) == 0 {
+				out[i] = out[i-2]
+			} else {
+				out[i] = letters[r.Intn(len(letters))%len(letters)]
+			}
+			word++
+		}
+		if i > 0 && i%64 == 0 {
+			out[i] = '\n'
+			word = 0
+		}
+	}
+	return out
+}
+
+// genWords produces count lowercase words of length 3..8 for perl, with a
+// deliberate fraction of anagram pairs so that bucket collisions occur.
+func genWords(r *Rand, count int) []string {
+	words := make([]string, 0, count)
+	for len(words) < count {
+		n := 3 + r.Intn(6)
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = byte('a' + r.Intn(26))
+		}
+		words = append(words, string(w))
+		// With probability ~1/3, also add a shuffled (anagram) copy.
+		if len(words) < count && r.Intn(3) == 0 {
+			sh := []byte(words[len(words)-1])
+			for i := len(sh) - 1; i > 0; i-- {
+				j := r.Intn(i + 1)
+				sh[i], sh[j] = sh[j], sh[i]
+			}
+			words = append(words, string(sh))
+		}
+	}
+	return words
+}
+
+// genImage produces a w×h 8-bit image with smooth gradients plus noise for
+// ijpeg.
+func genImage(r *Rand, w, h int) []byte {
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 2*x + 3*y + r.Intn(17)
+			img[y*w+x] = byte(v)
+		}
+	}
+	return img
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// go: game playing. A negamax search with alpha-beta pruning over a
+// procedurally generated game tree (branching factor 4, fixed depth): child
+// positions are derived from the parent position key with an xorshift mix
+// and leaves are scored from their key. Deep recursion, data-dependent
+// pruning branches and hash-like leaf values give the low value
+// predictability the paper observes for go.
+
+const (
+	goDepth    = 5
+	goBranch   = 4
+	goGames    = 8
+	goChildK   = 0x9E3779B97F4A7C15
+	goBest0    = -100000
+	goInfinity = 100000
+)
+
+func init() {
+	register(Spec{
+		Name:        "go",
+		Description: "Game playing.",
+		Build:       buildGo,
+		Golden:      goldenGo,
+	})
+}
+
+// goMix is the position-key mixer shared (exactly) by the assembly and the
+// golden model.
+func goMix(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+func goBase(seed int64) uint64 { return uint64(seed)*0x100000001b3 ^ 0x90909090 }
+
+func buildGo(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+
+	// Register plan (main): s0 root base, s3 game index, s7 fold, s9 pass.
+	b.Li(isa.S0, int64(goBase(seed)))
+	b.Li(isa.S9, 1)
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	b.Li(isa.S7, 0)
+	b.Li(isa.S3, 0)
+	b.Label("game_loop")
+	// root key = base + (game+1) * childK
+	b.Addi(isa.T0, isa.S3, 1)
+	b.Li(isa.T1, imm64(goChildK))
+	b.Mul(isa.T0, isa.T0, isa.T1)
+	b.Add(isa.A0, isa.S0, isa.T0)
+	b.Li(isa.A1, goDepth)
+	b.Li(isa.A2, goBest0)
+	b.Li(isa.A3, goInfinity)
+	b.Call("negamax")
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.A0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, goGames)
+	b.Bnez(isa.T0, "game_loop")
+
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Label("perturb")
+	b.Call("rng_next")
+	b.Add(isa.S0, isa.S0, isa.A7) // new starting position set
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	// negamax(a0=key, a1=depth, a2=alpha, a3=beta) -> a0 = score.
+	// Frame layout: 0 ra, 8 key, 16 depth, 24 alpha, 32 beta, 40 best, 48 i.
+	b.Label("negamax")
+	b.Bnez(isa.A1, "interior")
+	// Leaf: score = (mix(key) & 0xff) - 128.
+	b.Slli(isa.T0, isa.A0, 13)
+	b.Xor(isa.A0, isa.A0, isa.T0)
+	b.Srli(isa.T0, isa.A0, 7)
+	b.Xor(isa.A0, isa.A0, isa.T0)
+	b.Slli(isa.T0, isa.A0, 17)
+	b.Xor(isa.A0, isa.A0, isa.T0)
+	b.Andi(isa.A0, isa.A0, 0xff)
+	b.Addi(isa.A0, isa.A0, -128)
+	b.Ret()
+
+	b.Label("interior")
+	b.Addi(isa.SP, isa.SP, -56)
+	b.Sd(isa.RA, isa.SP, 0)
+	b.Sd(isa.A0, isa.SP, 8)
+	b.Sd(isa.A1, isa.SP, 16)
+	b.Sd(isa.A2, isa.SP, 24)
+	b.Sd(isa.A3, isa.SP, 32)
+	b.Li(isa.T0, goBest0)
+	b.Sd(isa.T0, isa.SP, 40)
+	b.Sd(isa.Zero, isa.SP, 48)
+
+	b.Label("child_loop")
+	b.Ld(isa.T1, isa.SP, 48) // i
+	b.Slti(isa.T2, isa.T1, goBranch)
+	b.Beqz(isa.T2, "ret_best")
+	// child = mix(key + (i+1)*childK)
+	b.Ld(isa.T3, isa.SP, 8)
+	b.Addi(isa.T4, isa.T1, 1)
+	b.Li(isa.T5, imm64(goChildK))
+	b.Mul(isa.T4, isa.T4, isa.T5)
+	b.Add(isa.T3, isa.T3, isa.T4)
+	b.Slli(isa.T4, isa.T3, 13)
+	b.Xor(isa.T3, isa.T3, isa.T4)
+	b.Srli(isa.T4, isa.T3, 7)
+	b.Xor(isa.T3, isa.T3, isa.T4)
+	b.Slli(isa.T4, isa.T3, 17)
+	b.Xor(isa.T3, isa.T3, isa.T4)
+	// recurse with (child, depth-1, -beta, -alpha)
+	b.Mv(isa.A0, isa.T3)
+	b.Ld(isa.A1, isa.SP, 16)
+	b.Addi(isa.A1, isa.A1, -1)
+	b.Ld(isa.T1, isa.SP, 24) // alpha
+	b.Ld(isa.T2, isa.SP, 32) // beta
+	b.Sub(isa.A2, isa.Zero, isa.T2)
+	b.Sub(isa.A3, isa.Zero, isa.T1)
+	b.Call("negamax")
+	b.Sub(isa.A0, isa.Zero, isa.A0) // v = -score
+	// best = max(best, v)
+	b.Ld(isa.T1, isa.SP, 40)
+	b.Bge(isa.T1, isa.A0, "no_best")
+	b.Sd(isa.A0, isa.SP, 40)
+	b.Mv(isa.T1, isa.A0)
+	b.Label("no_best")
+	// alpha = max(alpha, best)
+	b.Ld(isa.T2, isa.SP, 24)
+	b.Bge(isa.T2, isa.T1, "no_alpha")
+	b.Sd(isa.T1, isa.SP, 24)
+	b.Mv(isa.T2, isa.T1)
+	b.Label("no_alpha")
+	// beta cutoff
+	b.Ld(isa.T3, isa.SP, 32)
+	b.Bge(isa.T2, isa.T3, "ret_best")
+	b.Ld(isa.T1, isa.SP, 48)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Sd(isa.T1, isa.SP, 48)
+	b.J("child_loop")
+
+	b.Label("ret_best")
+	b.Ld(isa.A0, isa.SP, 40)
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 56)
+	b.Ret()
+
+	emitRNG(b, "rng_state", uint64(seed)^0x60601)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenGo replays the first pass (8 games) in pure Go.
+func goldenGo(seed int64) uint64 {
+	var negamax func(key uint64, depth int, alpha, beta int64) int64
+	negamax = func(key uint64, depth int, alpha, beta int64) int64 {
+		if depth == 0 {
+			return int64(goMix(key)&0xff) - 128
+		}
+		best := int64(goBest0)
+		for i := 0; i < goBranch; i++ {
+			child := goMix(key + uint64(i+1)*goChildK)
+			v := -negamax(child, depth-1, -beta, -alpha)
+			if v > best {
+				best = v
+			}
+			if best > alpha {
+				alpha = best
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+		return best
+	}
+	base := goBase(seed)
+	var fold uint64
+	for g := 0; g < goGames; g++ {
+		root := base + uint64(g+1)*goChildK
+		score := negamax(root, goDepth, goBest0, goInfinity)
+		fold = fold*31 + uint64(score)
+	}
+	return fold
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math"
+
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// ijpeg: JPEG encoding. Each pass level-shifts every 8×8 block of a 32×32
+// image, applies a separable integer DCT (two 8×8×8 matrix multiplies with
+// fixed-point coefficients), quantises, walks the coefficients in zigzag
+// order and folds a run-length encoding of them into the checksum. Dense
+// regular loop nests give the stride-heavy address and value streams the
+// paper sees for ijpeg.
+
+const (
+	jpgImageW   = 32
+	jpgImageH   = 32
+	jpgDCTScale = 64 // fixed-point scale of the coefficient matrix
+	jpgShift    = 12 // 2*log2(jpgDCTScale) after two multiplies
+)
+
+func init() {
+	register(Spec{
+		Name:        "ijpeg",
+		Description: "JPEG encoder.",
+		Build:       buildIjpeg,
+		Golden:      goldenIjpeg,
+	})
+}
+
+// jpgCosMatrix returns the fixed-point DCT-II coefficient matrix C[u][x] =
+// round(scale * c_u/2 * cos((2x+1)uπ/16)), the standard 8-point DCT basis.
+func jpgCosMatrix() []int64 {
+	c := make([]int64, 64)
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			v := float64(jpgDCTScale) * cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			c[u*8+x] = int64(math.Round(v))
+		}
+	}
+	return c
+}
+
+// jpgQuantTable returns a frequency-weighted quantisation table.
+func jpgQuantTable() []int64 {
+	q := make([]int64, 64)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			q[u*8+v] = int64(8 + 4*(u+v))
+		}
+	}
+	return q
+}
+
+// jpgZigzag returns the standard zigzag scan order of an 8×8 block
+// (0, 1, 8, 16, 9, 2, …): odd anti-diagonals run down-left, even ones
+// up-right.
+func jpgZigzag() []int64 {
+	order := make([]int64, 0, 64)
+	for s := 0; s < 15; s++ {
+		lo, hi := 0, s
+		if s > 7 {
+			lo, hi = s-7, 7
+		}
+		if s%2 == 1 {
+			for u := lo; u <= hi; u++ {
+				order = append(order, int64(u*8+(s-u)))
+			}
+		} else {
+			for u := hi; u >= lo; u-- {
+				order = append(order, int64(u*8+(s-u)))
+			}
+		}
+	}
+	return order
+}
+
+func ijpegImage(seed int64) []byte {
+	return genImage(NewRand(seed^0x19e6), jpgImageW, jpgImageH)
+}
+
+func buildIjpeg(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+
+	// Register plan:
+	//   s0 image base  s1 by  s2 bx  s3 outer loop idx  s4 inner  s5 k
+	//   s6 accumulator/zero-run  s7 checksum  s8 blk base  s9 pass
+	//   s10 C matrix base  s11 31
+	b.La(isa.S0, "image")
+	b.La(isa.S8, "blk")
+	b.La(isa.S10, "cosmat")
+	b.Li(isa.S9, 1)
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	b.Li(isa.S7, 0)
+	b.Li(isa.S1, 0) // by
+	b.Label("by_loop")
+	b.Li(isa.S2, 0) // bx
+	b.Label("bx_loop")
+
+	// --- load block: blk[y*8+x] = image[(by*8+y)*32 + bx*8+x] - 128 ---
+	b.Li(isa.S3, 0) // y
+	b.Label("load_y")
+	b.Li(isa.S4, 0) // x
+	b.Label("load_x")
+	b.Slli(isa.T0, isa.S1, 3)
+	b.Add(isa.T0, isa.T0, isa.S3) // by*8+y
+	b.Slli(isa.T0, isa.T0, 5)     // *32
+	b.Slli(isa.T1, isa.S2, 3)
+	b.Add(isa.T0, isa.T0, isa.T1)
+	b.Add(isa.T0, isa.T0, isa.S4)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Lb(isa.T2, isa.T0, 0)
+	b.Addi(isa.T2, isa.T2, -128)
+	b.Slli(isa.T3, isa.S3, 3)
+	b.Add(isa.T3, isa.T3, isa.S4)
+	b.Slli(isa.T3, isa.T3, 3)
+	b.Add(isa.T3, isa.T3, isa.S8)
+	b.Sd(isa.T2, isa.T3, 0)
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Slti(isa.T0, isa.S4, 8)
+	b.Bnez(isa.T0, "load_x")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 8)
+	b.Bnez(isa.T0, "load_y")
+
+	// --- tmp = C * blk ---
+	b.La(isa.T6, "tmpmat")
+	b.Li(isa.S3, 0) // u
+	b.Label("mm1_u")
+	b.Li(isa.S4, 0) // x
+	b.Label("mm1_x")
+	b.Li(isa.S6, 0) // acc
+	b.Li(isa.S5, 0) // k
+	b.Label("mm1_k")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S5)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S10)
+	b.Ld(isa.T1, isa.T0, 0) // C[u][k]
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T0, isa.T0, isa.S4)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S8)
+	b.Ld(isa.T2, isa.T0, 0) // blk[k][x]
+	b.Mul(isa.T1, isa.T1, isa.T2)
+	b.Add(isa.S6, isa.S6, isa.T1)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Slti(isa.T0, isa.S5, 8)
+	b.Bnez(isa.T0, "mm1_k")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S4)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.T6)
+	b.Sd(isa.S6, isa.T0, 0) // tmp[u][x]
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Slti(isa.T0, isa.S4, 8)
+	b.Bnez(isa.T0, "mm1_x")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 8)
+	b.Bnez(isa.T0, "mm1_u")
+
+	// --- out[u][v] = (sum_k tmp[u][k] * C[v][k]) >> jpgShift ---
+	b.Li(isa.S3, 0) // u
+	b.Label("mm2_u")
+	b.Li(isa.S4, 0) // v
+	b.Label("mm2_v")
+	b.Li(isa.S6, 0)
+	b.Li(isa.S5, 0) // k
+	b.Label("mm2_k")
+	b.La(isa.T6, "tmpmat")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S5)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.T6)
+	b.Ld(isa.T1, isa.T0, 0) // tmp[u][k]
+	b.Slli(isa.T0, isa.S4, 3)
+	b.Add(isa.T0, isa.T0, isa.S5)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S10)
+	b.Ld(isa.T2, isa.T0, 0) // C[v][k]
+	b.Mul(isa.T1, isa.T1, isa.T2)
+	b.Add(isa.S6, isa.S6, isa.T1)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Slti(isa.T0, isa.S5, 8)
+	b.Bnez(isa.T0, "mm2_k")
+	b.Srai(isa.S6, isa.S6, jpgShift)
+	b.La(isa.T6, "outmat")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S4)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.T6)
+	b.Sd(isa.S6, isa.T0, 0)
+	b.Addi(isa.S4, isa.S4, 1)
+	b.Slti(isa.T0, isa.S4, 8)
+	b.Bnez(isa.T0, "mm2_v")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 8)
+	b.Bnez(isa.T0, "mm2_u")
+
+	// --- quantise + zigzag RLE fold ---
+	b.Li(isa.S3, 0) // zigzag position
+	b.Li(isa.S6, 0) // zero-run length
+	b.Label("zz_loop")
+	b.La(isa.T6, "zigzag")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.T6)
+	b.Ld(isa.T1, isa.T0, 0) // idx
+	b.La(isa.T6, "outmat")
+	b.Slli(isa.T0, isa.T1, 3)
+	b.Add(isa.T2, isa.T0, isa.T6)
+	b.Ld(isa.T2, isa.T2, 0) // coefficient
+	b.La(isa.T6, "quant")
+	b.Add(isa.T0, isa.T0, isa.T6)
+	b.Ld(isa.T3, isa.T0, 0) // quant divisor
+	b.Div(isa.T2, isa.T2, isa.T3)
+	b.Bnez(isa.T2, "zz_nonzero")
+	b.Addi(isa.S6, isa.S6, 1)
+	b.J("zz_next")
+	b.Label("zz_nonzero")
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.S6)
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.T2)
+	b.Li(isa.S6, 0)
+	b.Label("zz_next")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 64)
+	b.Bnez(isa.T0, "zz_loop")
+	// trailing zero run
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.S6)
+
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Slti(isa.T0, isa.S2, jpgImageW/8)
+	b.Bnez(isa.T0, "bx_loop")
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Slti(isa.T0, isa.S1, jpgImageH/8)
+	b.Bnez(isa.T0, "by_loop")
+
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+
+	// Perturb 64 random pixels.
+	b.Label("perturb")
+	b.Li(isa.S3, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Andi(isa.T0, isa.A7, jpgImageW*jpgImageH-1)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Lb(isa.T1, isa.T0, 0)
+	b.Srli(isa.T2, isa.A7, 17)
+	b.Andi(isa.T2, isa.T2, 0x1f)
+	b.Add(isa.T1, isa.T1, isa.T2)
+	b.Andi(isa.T1, isa.T1, 0xff)
+	b.Sb(isa.T1, isa.T0, 0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 64)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	emitRNG(b, "rng_state", uint64(seed)^0x19e61)
+	b.Bytes("image", ijpegImage(seed))
+	b.Quads("cosmat", jpgCosMatrix()...)
+	b.Quads("quant", jpgQuantTable()...)
+	b.Quads("zigzag", jpgZigzag()...)
+	b.Space("blk", 64*8)
+	b.Space("tmpmat", 64*8)
+	b.Space("outmat", 64*8)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenIjpeg encodes the unperturbed image in pure Go with identical
+// integer arithmetic (arithmetic shifts and truncating division).
+func goldenIjpeg(seed int64) uint64 {
+	img := ijpegImage(seed)
+	cos := jpgCosMatrix()
+	quant := jpgQuantTable()
+	zig := jpgZigzag()
+	var checksum uint64
+	var blk, tmp, out [64]int64
+	for by := 0; by < jpgImageH/8; by++ {
+		for bx := 0; bx < jpgImageW/8; bx++ {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = int64(img[(by*8+y)*jpgImageW+bx*8+x]) - 128
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for x := 0; x < 8; x++ {
+					var acc int64
+					for k := 0; k < 8; k++ {
+						acc += cos[u*8+k] * blk[k*8+x]
+					}
+					tmp[u*8+x] = acc
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					var acc int64
+					for k := 0; k < 8; k++ {
+						acc += tmp[u*8+k] * cos[v*8+k]
+					}
+					out[u*8+v] = acc >> jpgShift
+				}
+			}
+			var run uint64
+			for i := 0; i < 64; i++ {
+				q := out[zig[i]] / quant[zig[i]]
+				if q == 0 {
+					run++
+					continue
+				}
+				checksum = checksum*31 + run
+				checksum = checksum*31 + uint64(q)
+				run = 0
+			}
+			checksum = checksum*31 + run
+		}
+	}
+	return checksum
+}

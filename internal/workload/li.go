@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// li: a Lisp interpreter. The program recursively evaluates a forest of
+// s-expression trees stored as cons-like cells (tag, left, right) in a
+// heap, using an explicit call stack. Recursion-dominated control flow and
+// pointer-heavy cell access mimic xlisp's eval/apply loop; leaf values are
+// perturbed every pass so the value stream keeps drifting.
+
+// Cell tags.
+const (
+	liTagNum = iota
+	liTagAdd
+	liTagSub
+	liTagMul
+	liTagMax
+)
+
+const (
+	liNumTrees = 64
+	liDepth    = 5
+	liCellSize = 32
+)
+
+func init() {
+	register(Spec{
+		Name:        "li",
+		Description: "Lisp interpreter.",
+		Build:       buildLi,
+		Golden:      goldenLi,
+	})
+}
+
+// liCell is the Go-side cell representation; left/right are cell indices.
+type liCell struct {
+	tag         int64
+	left, right int64
+}
+
+// liForest builds the trees. It returns the cell arena, the root indices
+// and the indices of leaf cells (perturbation targets).
+func liForest(seed int64) (cells []liCell, roots, leaves []int64) {
+	r := NewRand(seed ^ 0x111)
+	newCell := func(c liCell) int64 {
+		cells = append(cells, c)
+		return int64(len(cells) - 1)
+	}
+	var gen func(depth int) int64
+	gen = func(depth int) int64 {
+		if depth == 0 || r.Intn(4) == 0 {
+			v := int64(r.Intn(1000)) - 500
+			idx := newCell(liCell{tag: liTagNum, left: v})
+			leaves = append(leaves, idx)
+			return idx
+		}
+		tag := int64(liTagAdd + r.Intn(4))
+		l := gen(depth - 1)
+		rt := gen(depth - 1)
+		return newCell(liCell{tag: tag, left: l, right: rt})
+	}
+	for i := 0; i < liNumTrees; i++ {
+		roots = append(roots, gen(liDepth))
+	}
+	return cells, roots, leaves
+}
+
+func buildLi(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	cells, roots, leaves := liForest(seed)
+
+	cellWords := make([]int64, 0, len(cells)*4)
+	for _, c := range cells {
+		cellWords = append(cellWords, c.tag, c.left, c.right, 0)
+	}
+
+	// Register plan: s0 cells base, s1 roots base, s2 leaves base,
+	// s3 loop index, s7 checksum, s9 pass, s10 #leaves, s11 31.
+	b.La(isa.S0, "cells")
+	b.La(isa.S1, "roots")
+	b.La(isa.S2, "leaves")
+	b.Li(isa.S9, 1)
+	b.Li(isa.S10, int64(len(leaves)))
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	b.Li(isa.S7, 0)
+	b.Li(isa.S3, 0)
+	b.Label("tree_loop")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S1)
+	b.Ld(isa.A0, isa.T0, 0)
+	b.Call("eval")
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.A0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, liNumTrees)
+	b.Bnez(isa.T0, "tree_loop")
+
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+
+	// Perturb 32 random leaf values: value += (r & 0xff) - 128.
+	b.Label("perturb")
+	b.Li(isa.S3, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Srli(isa.T1, isa.A7, 1) // keep the dividend non-negative for signed REM
+	b.Rem(isa.T0, isa.T1, isa.S10)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S2)
+	b.Ld(isa.T0, isa.T0, 0) // leaf cell index
+	b.Slli(isa.T0, isa.T0, 5)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Ld(isa.T2, isa.T0, 8)
+	b.Andi(isa.T3, isa.A7, 0xff)
+	b.Addi(isa.T3, isa.T3, -128)
+	b.Add(isa.T2, isa.T2, isa.T3)
+	b.Sd(isa.T2, isa.T0, 8)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 32)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	// eval(a0 = cell index) -> a0 = value.
+	b.Label("eval")
+	b.Slli(isa.T0, isa.A0, 5)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Ld(isa.T1, isa.T0, 0) // tag
+	b.Bnez(isa.T1, "eval_interior")
+	b.Ld(isa.A0, isa.T0, 8)
+	b.Ret()
+	b.Label("eval_interior")
+	b.Addi(isa.SP, isa.SP, -24)
+	b.Sd(isa.RA, isa.SP, 0)
+	b.Sd(isa.T0, isa.SP, 8) // cell ptr
+	b.Ld(isa.A0, isa.T0, 8)
+	b.Call("eval")
+	b.Sd(isa.A0, isa.SP, 16) // left value
+	b.Ld(isa.T0, isa.SP, 8)
+	b.Ld(isa.A0, isa.T0, 16)
+	b.Call("eval")
+	b.Ld(isa.T2, isa.SP, 16) // left value
+	b.Ld(isa.T0, isa.SP, 8)
+	b.Ld(isa.T1, isa.T0, 0) // tag
+	b.Li(isa.T3, liTagAdd)
+	b.Beq(isa.T1, isa.T3, "eval_add")
+	b.Li(isa.T3, liTagSub)
+	b.Beq(isa.T1, isa.T3, "eval_sub")
+	b.Li(isa.T3, liTagMul)
+	b.Beq(isa.T1, isa.T3, "eval_mul")
+	// max
+	b.Bge(isa.T2, isa.A0, "eval_takeleft")
+	b.J("eval_ret")
+	b.Label("eval_takeleft")
+	b.Mv(isa.A0, isa.T2)
+	b.J("eval_ret")
+	b.Label("eval_add")
+	b.Add(isa.A0, isa.T2, isa.A0)
+	b.J("eval_ret")
+	b.Label("eval_sub")
+	b.Sub(isa.A0, isa.T2, isa.A0)
+	b.J("eval_ret")
+	b.Label("eval_mul")
+	b.Mul(isa.A0, isa.T2, isa.A0)
+	b.Label("eval_ret")
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 24)
+	b.Ret()
+
+	emitRNG(b, "rng_state", uint64(seed)^0x4111)
+	b.Quads("cells", cellWords...)
+	b.Quads("roots", roots...)
+	b.Quads("leaves", leaves...)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenLi evaluates the unperturbed forest in pure Go.
+func goldenLi(seed int64) uint64 {
+	cells, roots, _ := liForest(seed)
+	var eval func(idx int64) int64
+	eval = func(idx int64) int64 {
+		c := cells[idx]
+		switch c.tag {
+		case liTagNum:
+			return c.left
+		case liTagAdd:
+			return eval(c.left) + eval(c.right)
+		case liTagSub:
+			return eval(c.left) - eval(c.right)
+		case liTagMul:
+			return eval(c.left) * eval(c.right)
+		default: // max
+			l, r := eval(c.left), eval(c.right)
+			if l >= r {
+				return l
+			}
+			return r
+		}
+	}
+	var fold uint64
+	for _, root := range roots {
+		fold = fold*31 + uint64(eval(root))
+	}
+	return fold
+}

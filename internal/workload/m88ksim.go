@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// m88ksim: an instruction-set simulator running inside the emulated
+// machine, mirroring SPEC95's 88100 simulator. The host program is a
+// fetch/decode/dispatch interpreter (indirect jumps through a jump table)
+// for a toy 16-register ISA ("t88"); the guest program is a counter-heavy
+// nested loop. Interpreter state (guest PC, counters, register-file
+// traffic) is exactly the kind of stride- and last-value-predictable value
+// stream the paper reports for m88ksim.
+
+// t88 opcodes.
+const (
+	t88Halt = iota
+	t88Addi
+	t88Add
+	t88Sub
+	t88Mul
+	t88Ld
+	t88St
+	t88Beq
+	t88Bne
+	t88Li
+	t88Blt
+	t88NumOps
+)
+
+// t88GoldenSteps is the guest instruction count after which the host folds
+// the guest register file into the golden checksum.
+const t88GoldenSteps = 4096
+
+// t88Enc packs one guest instruction word.
+func t88Enc(op, rd, rs, rt int, imm int64) uint64 {
+	return uint64(op&0xff) | uint64(rd&0xf)<<8 | uint64(rs&0xf)<<12 |
+		uint64(rt&0xf)<<16 | uint64(uint16(imm))<<32
+}
+
+// t88Program builds the guest program. It loops forever: an inner
+// multiply-accumulate loop of 16 iterations, a store/load round trip, and
+// an unconditional back-edge.
+func t88Program(seed int64) []uint64 {
+	initTotal := seed & 0x3fff
+	return []uint64{
+		t88Enc(t88Li, 1, 0, 0, 0),         // 0: li r1, 0        (i)
+		t88Enc(t88Li, 7, 0, 0, initTotal), // 1: li r7, seed     (total)
+		t88Enc(t88Li, 2, 0, 0, 0),         // 2: outer: li r2, 0 (j)
+		t88Enc(t88Li, 4, 0, 0, 0),         // 3: li r4, 0        (sum)
+		t88Enc(t88Mul, 5, 1, 2, 0),        // 4: inner: r5 = i*j
+		t88Enc(t88Add, 4, 4, 5, 0),        // 5: sum += r5
+		t88Enc(t88Addi, 2, 2, 0, 1),       // 6: j++
+		t88Enc(t88Li, 6, 0, 0, 16),        // 7: r6 = 16
+		t88Enc(t88Blt, 0, 2, 6, -4),       // 8: if j < 16 goto inner
+		t88Enc(t88Add, 7, 7, 4, 0),        // 9: total += sum
+		t88Enc(t88St, 0, 1, 4, 0),         // 10: mem[i] = sum
+		t88Enc(t88Ld, 3, 1, 0, 0),         // 11: r3 = mem[i]
+		t88Enc(t88Add, 7, 7, 3, 0),        // 12: total += r3
+		t88Enc(t88Addi, 1, 1, 0, 1),       // 13: i++
+		t88Enc(t88Beq, 0, 0, 0, -12),      // 14: goto outer
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:        "m88ksim",
+		Description: "A simulator for the 88100 processor.",
+		Build:       buildM88ksim,
+		Golden:      goldenM88ksim,
+	})
+}
+
+func buildM88ksim(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	guest := t88Program(seed)
+	words := make([]int64, len(guest))
+	for i, w := range guest {
+		words[i] = int64(w)
+	}
+
+	// Host register plan:
+	//   s0 guest text base   s1 guest regfile base  s2 guest data base
+	//   s3 guest pc          s4 dispatch table base s5 guest inst counter
+	//   s6 golden threshold  s11 31 (fold mult)
+	b.La(isa.S0, "t_prog")
+	b.La(isa.S1, "t_regs")
+	b.La(isa.S2, "t_mem")
+	b.Li(isa.S3, 0)
+	b.La(isa.S4, "t88_dispatch")
+	b.Li(isa.S5, 0)
+	b.Li(isa.S6, t88GoldenSteps)
+	b.Li(isa.S11, 31)
+
+	b.Label("t88_loop")
+	// fetch
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Ld(isa.T0, isa.T0, 0) // t0 = guest word, kept live across dispatch
+	// dispatch
+	b.Andi(isa.T1, isa.T0, 0xff)
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.T2, isa.S4)
+	b.Ld(isa.T2, isa.T2, 0)
+	b.Jalr(isa.Zero, isa.T2, 0)
+
+	// Decode helpers used below (inline at each handler):
+	//   rd  = (w >> 8)  & 15
+	//   rs  = (w >> 12) & 15
+	//   rt  = (w >> 16) & 15
+	//   imm = sign-extended bits 32..47
+	decodeRd := func(dst isa.Reg) {
+		b.Srli(dst, isa.T0, 8)
+		b.Andi(dst, dst, 15)
+	}
+	decodeRs := func(dst isa.Reg) {
+		b.Srli(dst, isa.T0, 12)
+		b.Andi(dst, dst, 15)
+	}
+	decodeRt := func(dst isa.Reg) {
+		b.Srli(dst, isa.T0, 16)
+		b.Andi(dst, dst, 15)
+	}
+	decodeImm := func(dst isa.Reg) {
+		b.Slli(dst, isa.T0, 16)
+		b.Srai(dst, dst, 48)
+	}
+	loadGuestReg := func(dst, idx isa.Reg) {
+		b.Slli(dst, idx, 3)
+		b.Add(dst, dst, isa.S1)
+		b.Ld(dst, dst, 0)
+	}
+	storeGuestReg := func(val, idx isa.Reg) {
+		b.Slli(isa.T6, idx, 3)
+		b.Add(isa.T6, isa.T6, isa.S1)
+		b.Sd(val, isa.T6, 0)
+	}
+
+	b.Label("op_halt")
+	b.Li(isa.S3, 0)
+	b.J("t88_step")
+
+	b.Label("op_addi")
+	decodeRs(isa.T2)
+	loadGuestReg(isa.T3, isa.T2)
+	decodeImm(isa.T4)
+	b.Add(isa.T3, isa.T3, isa.T4)
+	decodeRd(isa.T1)
+	storeGuestReg(isa.T3, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("t88_step")
+
+	b.Label("op_li")
+	decodeImm(isa.T4)
+	decodeRd(isa.T1)
+	storeGuestReg(isa.T4, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("t88_step")
+
+	// Three-register ALU handlers share decode structure.
+	alu := func(label string, emit func()) {
+		b.Label(label)
+		decodeRs(isa.T2)
+		loadGuestReg(isa.T3, isa.T2)
+		decodeRt(isa.T2)
+		loadGuestReg(isa.T4, isa.T2)
+		emit() // combines t3 op t4 into t3
+		decodeRd(isa.T1)
+		storeGuestReg(isa.T3, isa.T1)
+		b.Addi(isa.S3, isa.S3, 1)
+		b.J("t88_step")
+	}
+	alu("op_add", func() { b.Add(isa.T3, isa.T3, isa.T4) })
+	alu("op_sub", func() { b.Sub(isa.T3, isa.T3, isa.T4) })
+	alu("op_mul", func() { b.Mul(isa.T3, isa.T3, isa.T4) })
+
+	b.Label("op_ld")
+	decodeRs(isa.T2)
+	loadGuestReg(isa.T3, isa.T2)
+	decodeImm(isa.T4)
+	b.Add(isa.T3, isa.T3, isa.T4)
+	b.Andi(isa.T3, isa.T3, 255)
+	b.Slli(isa.T3, isa.T3, 3)
+	b.Add(isa.T3, isa.T3, isa.S2)
+	b.Ld(isa.T3, isa.T3, 0)
+	decodeRd(isa.T1)
+	storeGuestReg(isa.T3, isa.T1)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("t88_step")
+
+	b.Label("op_st")
+	decodeRs(isa.T2)
+	loadGuestReg(isa.T3, isa.T2)
+	decodeImm(isa.T4)
+	b.Add(isa.T3, isa.T3, isa.T4)
+	b.Andi(isa.T3, isa.T3, 255)
+	b.Slli(isa.T3, isa.T3, 3)
+	b.Add(isa.T3, isa.T3, isa.S2)
+	decodeRt(isa.T2)
+	loadGuestReg(isa.T4, isa.T2)
+	b.Sd(isa.T4, isa.T3, 0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("t88_step")
+
+	// Branch handlers: compare regs[rs] with regs[rt], add imm to guest PC
+	// when the condition holds, else fall through.
+	branch := func(label string, jump func(taken string)) {
+		b.Label(label)
+		decodeRs(isa.T2)
+		loadGuestReg(isa.T3, isa.T2)
+		decodeRt(isa.T2)
+		loadGuestReg(isa.T4, isa.T2)
+		jump(label + "_taken")
+		b.Addi(isa.S3, isa.S3, 1)
+		b.J("t88_step")
+		b.Label(label + "_taken")
+		decodeImm(isa.T4)
+		b.Add(isa.S3, isa.S3, isa.T4)
+		b.J("t88_step")
+	}
+	branch("op_beq", func(t string) { b.Beq(isa.T3, isa.T4, t) })
+	branch("op_bne", func(t string) { b.Bne(isa.T3, isa.T4, t) })
+	branch("op_blt", func(t string) { b.Blt(isa.T3, isa.T4, t) })
+
+	b.Label("t88_step")
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Bne(isa.S5, isa.S6, "t88_loop")
+	// Fold the guest register file into the golden checksum (runs once).
+	b.Li(isa.T1, 0) // k
+	b.Li(isa.T3, 0) // checksum
+	b.Label("fold_loop")
+	b.Slli(isa.T2, isa.T1, 3)
+	b.Add(isa.T2, isa.T2, isa.S1)
+	b.Ld(isa.T2, isa.T2, 0)
+	b.Mul(isa.T3, isa.T3, isa.S11)
+	b.Add(isa.T3, isa.T3, isa.T2)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Slti(isa.T2, isa.T1, 16)
+	b.Bnez(isa.T2, "fold_loop")
+	b.La(isa.T1, "golden")
+	b.Sd(isa.T3, isa.T1, 0)
+	b.La(isa.T1, "checksum")
+	b.Sd(isa.T3, isa.T1, 0)
+	b.J("t88_loop")
+
+	b.Quads("t_prog", words...)
+	b.Space("t_regs", 16*8)
+	b.Space("t_mem", 256*8)
+	b.QuadAddrs("t88_dispatch",
+		"op_halt", "op_addi", "op_add", "op_sub", "op_mul",
+		"op_ld", "op_st", "op_beq", "op_bne", "op_li", "op_blt")
+	b.Quads("golden", 0)
+	b.Quads("checksum", 0)
+	return b.Assemble()
+}
+
+// goldenM88ksim interprets the guest program for t88GoldenSteps
+// instructions in pure Go and folds the register file.
+func goldenM88ksim(seed int64) uint64 {
+	prog := t88Program(seed)
+	var regs [16]uint64
+	var mem [256]uint64
+	pc := int64(0)
+	dec := func(w uint64) (op, rd, rs, rt int, imm int64) {
+		return int(w & 0xff), int(w >> 8 & 0xf), int(w >> 12 & 0xf),
+			int(w >> 16 & 0xf), int64(int16(w >> 32))
+	}
+	for step := 0; step < t88GoldenSteps; step++ {
+		w := prog[pc]
+		op, rd, rs, rt, imm := dec(w)
+		switch op {
+		case t88Halt:
+			pc = 0
+			continue
+		case t88Addi:
+			regs[rd] = regs[rs] + uint64(imm)
+		case t88Li:
+			regs[rd] = uint64(imm)
+		case t88Add:
+			regs[rd] = regs[rs] + regs[rt]
+		case t88Sub:
+			regs[rd] = regs[rs] - regs[rt]
+		case t88Mul:
+			regs[rd] = regs[rs] * regs[rt]
+		case t88Ld:
+			regs[rd] = mem[(regs[rs]+uint64(imm))&255]
+		case t88St:
+			mem[(regs[rs]+uint64(imm))&255] = regs[rt]
+		case t88Beq:
+			if regs[rs] == regs[rt] {
+				pc += imm
+				continue
+			}
+		case t88Bne:
+			if regs[rs] != regs[rt] {
+				pc += imm
+				continue
+			}
+		case t88Blt:
+			if int64(regs[rs]) < int64(regs[rt]) {
+				pc += imm
+				continue
+			}
+		}
+		pc++
+	}
+	var c uint64
+	for _, r := range regs {
+		c = c*31 + r
+	}
+	return c
+}

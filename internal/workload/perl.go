@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// perl: an anagram search program. Every pass canonicalises each word of a
+// word list by insertion-sorting its letters, hashes the sorted signature
+// into an open-addressed table of (signature, count) buckets, and then
+// scans the table folding the anagram group sizes into the checksum. Short
+// data-dependent sort loops and hash probing dominate, mimicking the
+// string/hash behaviour of the SPEC95 perl anagram workload.
+
+const (
+	perlNumWords   = 512
+	perlWordBytes  = 16 // record: len byte + up to 8 letters + padding
+	perlTableSize  = 2048
+	perlTableShift = 53 // 64 - log2(perlTableSize)
+)
+
+func init() {
+	register(Spec{
+		Name:        "perl",
+		Description: "Anagram search program.",
+		Build:       buildPerl,
+		Golden:      goldenPerl,
+	})
+}
+
+func perlWords(seed int64) []string {
+	return genWords(NewRand(seed^0x9e21), perlNumWords)
+}
+
+func perlPackWords(words []string) []byte {
+	buf := make([]byte, len(words)*perlWordBytes)
+	for i, w := range words {
+		rec := buf[i*perlWordBytes:]
+		rec[0] = byte(len(w))
+		copy(rec[1:], w)
+	}
+	return buf
+}
+
+func buildPerl(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	words := perlWords(seed)
+
+	// Register plan:
+	//   s0 words base    s1 table base   s2 word index  s3 sort buf base
+	//   s4 word len      s7 checksum     s8 table mask  s9 pass
+	//   s10 hash K       s11 31
+	b.La(isa.S0, "words")
+	b.La(isa.S1, "buckets")
+	b.La(isa.S3, "sortbuf")
+	b.Li(isa.S8, perlTableSize-1)
+	b.Li(isa.S9, 1)
+	b.Li(isa.S10, imm64(lzwHashK))
+	b.Li(isa.S11, 31)
+
+	b.Label("pass_loop")
+	// clear bucket table (sig, count pairs)
+	b.Mv(isa.T0, isa.S1)
+	b.Li(isa.T1, perlTableSize*16)
+	b.Add(isa.T1, isa.T0, isa.T1)
+	b.Label("clear_loop")
+	b.Sd(isa.Zero, isa.T0, 0)
+	b.Sd(isa.Zero, isa.T0, 8)
+	b.Addi(isa.T0, isa.T0, 16)
+	b.Blt(isa.T0, isa.T1, "clear_loop")
+
+	b.Li(isa.S2, 0)
+	b.Label("word_loop")
+	// t0 = record base
+	b.Slli(isa.T0, isa.S2, 4)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Lb(isa.S4, isa.T0, 0) // len
+	// copy letters into sortbuf
+	b.Li(isa.T1, 0)
+	b.Label("copy_loop")
+	b.Bge(isa.T1, isa.S4, "copy_done")
+	b.Add(isa.T2, isa.T0, isa.T1)
+	b.Lb(isa.T3, isa.T2, 1)
+	b.Add(isa.T2, isa.S3, isa.T1)
+	b.Sb(isa.T3, isa.T2, 0)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.J("copy_loop")
+	b.Label("copy_done")
+	// insertion sort sortbuf[0..len)
+	b.Li(isa.T1, 1) // i
+	b.Label("sort_outer")
+	b.Bge(isa.T1, isa.S4, "sort_done")
+	b.Add(isa.T2, isa.S3, isa.T1)
+	b.Lb(isa.T3, isa.T2, 0) // key
+	b.Mv(isa.T4, isa.T1)    // j
+	b.Label("sort_inner")
+	b.Beqz(isa.T4, "sort_place")
+	b.Addi(isa.T5, isa.T4, -1)
+	b.Add(isa.T2, isa.S3, isa.T5)
+	b.Lb(isa.T6, isa.T2, 0)
+	b.Bge(isa.T3, isa.T6, "sort_place")
+	// shift right: buf[j] = buf[j-1]
+	b.Add(isa.T2, isa.S3, isa.T4)
+	b.Sb(isa.T6, isa.T2, 0)
+	b.Mv(isa.T4, isa.T5)
+	b.J("sort_inner")
+	b.Label("sort_place")
+	b.Add(isa.T2, isa.S3, isa.T4)
+	b.Sb(isa.T3, isa.T2, 0)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.J("sort_outer")
+	b.Label("sort_done")
+	// signature = fold(len, sorted letters)
+	b.Mv(isa.T3, isa.S4)
+	b.Li(isa.T1, 0)
+	b.Label("sig_loop")
+	b.Bge(isa.T1, isa.S4, "sig_done")
+	b.Add(isa.T2, isa.S3, isa.T1)
+	b.Lb(isa.T4, isa.T2, 0)
+	b.Mul(isa.T3, isa.T3, isa.S11)
+	b.Add(isa.T3, isa.T3, isa.T4)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.J("sig_loop")
+	b.Label("sig_done")
+	b.Ori(isa.T3, isa.T3, 1) // signatures are never zero (zero = empty slot)
+	// probe buckets for signature t3
+	b.Mul(isa.T0, isa.T3, isa.S10)
+	b.Srli(isa.T0, isa.T0, perlTableShift)
+	b.Label("bucket_probe")
+	b.Slli(isa.T1, isa.T0, 4)
+	b.Add(isa.T1, isa.T1, isa.S1)
+	b.Ld(isa.T2, isa.T1, 0)
+	b.Beq(isa.T2, isa.T3, "bucket_hit")
+	b.Beqz(isa.T2, "bucket_new")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.And(isa.T0, isa.T0, isa.S8)
+	b.J("bucket_probe")
+	b.Label("bucket_hit")
+	b.Ld(isa.T2, isa.T1, 8)
+	b.Addi(isa.T2, isa.T2, 1)
+	b.Sd(isa.T2, isa.T1, 8)
+	b.J("word_next")
+	b.Label("bucket_new")
+	b.Sd(isa.T3, isa.T1, 0)
+	b.Li(isa.T2, 1)
+	b.Sd(isa.T2, isa.T1, 8)
+	b.Label("word_next")
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Slti(isa.T0, isa.S2, perlNumWords)
+	b.Bnez(isa.T0, "word_loop")
+
+	// scan table: fold group sizes > 1 (anagram groups) in slot order
+	b.Li(isa.S7, 0)
+	b.Li(isa.T0, 0)
+	b.Label("scan_loop")
+	b.Slli(isa.T1, isa.T0, 4)
+	b.Add(isa.T1, isa.T1, isa.S1)
+	b.Ld(isa.T2, isa.T1, 0)
+	b.Beqz(isa.T2, "scan_next")
+	b.Ld(isa.T3, isa.T1, 8)
+	b.Li(isa.T4, 2)
+	b.Blt(isa.T3, isa.T4, "scan_next")
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.T3)
+	b.Mul(isa.S7, isa.S7, isa.S11)
+	b.Add(isa.S7, isa.S7, isa.T2)
+	b.Label("scan_next")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Slti(isa.T1, isa.T0, perlTableSize)
+	b.Bnez(isa.T1, "scan_loop")
+
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+
+	// Perturb: rotate one letter in each of 48 random words.
+	b.Label("perturb")
+	b.Li(isa.S2, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Andi(isa.T0, isa.A7, perlNumWords-1)
+	b.Slli(isa.T0, isa.T0, 4)
+	b.Add(isa.T0, isa.T0, isa.S0) // record
+	b.Lb(isa.T1, isa.T0, 0)       // len
+	b.Srli(isa.T2, isa.A7, 11)
+	b.Rem(isa.T2, isa.T2, isa.T1) // letter index (len > 0)
+	b.Add(isa.T2, isa.T2, isa.T0)
+	b.Lb(isa.T3, isa.T2, 1)
+	b.Addi(isa.T3, isa.T3, -'a'+1)
+	b.Li(isa.T4, 26)
+	b.Rem(isa.T3, isa.T3, isa.T4)
+	b.Addi(isa.T3, isa.T3, 'a')
+	b.Sb(isa.T3, isa.T2, 1)
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Slti(isa.T0, isa.S2, 48)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	emitRNG(b, "rng_state", uint64(seed)^0x3e21)
+	b.Bytes("words", perlPackWords(words))
+	b.Space("sortbuf", 16)
+	b.Space("buckets", perlTableSize*16)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenPerl replays the first pass in Go with an identical open-addressed
+// table (the checksum depends on slot order, so a map will not do).
+func goldenPerl(seed int64) uint64 {
+	words := perlWords(seed)
+	sigs := make([]uint64, perlTableSize)
+	counts := make([]uint64, perlTableSize)
+	for _, w := range words {
+		letters := []byte(w)
+		for i := 1; i < len(letters); i++ {
+			key := letters[i]
+			j := i
+			for j > 0 && letters[j-1] > key {
+				letters[j] = letters[j-1]
+				j--
+			}
+			letters[j] = key
+		}
+		sig := uint64(len(letters))
+		for _, c := range letters {
+			sig = sig*31 + uint64(c)
+		}
+		sig |= 1
+		h := sig * lzwHashK >> perlTableShift
+		for {
+			if sigs[h] == sig {
+				counts[h]++
+				break
+			}
+			if sigs[h] == 0 {
+				sigs[h] = sig
+				counts[h] = 1
+				break
+			}
+			h = (h + 1) & (perlTableSize - 1)
+		}
+	}
+	var fold uint64
+	for i := 0; i < perlTableSize; i++ {
+		if sigs[i] != 0 && counts[i] >= 2 {
+			fold = fold*31 + counts[i]
+			fold = fold*31 + sigs[i]
+		}
+	}
+	return fold
+}

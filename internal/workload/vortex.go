@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"valuepred/internal/asm"
+	"valuepred/internal/isa"
+)
+
+// vortex: an object-oriented database transaction benchmark. Each pass is a
+// database session: records (id, type, value, link) are bump-allocated in
+// an arena, indexed by a hash table keyed on sequential object IDs, and a
+// fixed transaction script performs inserts, lookups (with a 3-hop link
+// chase) and updates. Sequential IDs and the bump allocator give the long,
+// strongly stride-predictable dependence chains the paper reports for
+// vortex.
+
+const (
+	vtxNumTx      = 2048
+	vtxIndexSize  = 8192 // power of two
+	vtxIndexShift = 51
+	vtxRecBytes   = 32
+)
+
+// vortex transaction opcodes (low 2 bits of the script word).
+const (
+	vtxInsert  = 0
+	vtxLookup  = 1
+	vtxUpdate  = 2
+	vtxLookup2 = 3 // second lookup encoding, so lookups are half the mix
+)
+
+func init() {
+	register(Spec{
+		Name:        "vortex",
+		Description: "A single-user object-oriented database transaction benchmark.",
+		Build:       buildVortex,
+		Golden:      goldenVortex,
+	})
+}
+
+// vortexScript generates the transaction script. The first 8 transactions
+// are inserts so that lookups always have a target.
+func vortexScript(seed int64) []uint64 {
+	r := NewRand(seed ^ 0x7709)
+	txs := make([]uint64, vtxNumTx)
+	for i := range txs {
+		op := uint64(r.Intn(4))
+		if i < 8 {
+			op = vtxInsert
+		}
+		payload := r.Next() >> 2
+		txs[i] = payload<<2 | op
+	}
+	return txs
+}
+
+func buildVortex(seed int64) (*isa.Program, error) {
+	b := asm.NewBuilder()
+	script := vortexScript(seed)
+	words := make([]int64, len(script))
+	for i, w := range script {
+		words[i] = int64(w)
+	}
+
+	// Register plan:
+	//   s0 objects base  s1 index base  s2 script base  s3 tx index
+	//   s4 arena ptr     s5 next_id     s6 prev record  s7 accumulator
+	//   s8 index mask    s9 pass        s10 hash K      s11 #tx
+	b.La(isa.S0, "objects")
+	b.La(isa.S1, "obj_index")
+	b.La(isa.S2, "txs")
+	b.Li(isa.S8, vtxIndexSize-1)
+	b.Li(isa.S9, 1)
+	b.Li(isa.S10, imm64(lzwHashK))
+	b.Li(isa.S11, vtxNumTx)
+
+	b.Label("pass_loop")
+	// Session reset: clear index, rewind arena, restart IDs.
+	b.Mv(isa.T0, isa.S1)
+	b.Li(isa.T1, vtxIndexSize*8)
+	b.Add(isa.T1, isa.T0, isa.T1)
+	b.Label("clear_loop")
+	b.Sd(isa.Zero, isa.T0, 0)
+	b.Addi(isa.T0, isa.T0, 8)
+	b.Blt(isa.T0, isa.T1, "clear_loop")
+	b.Mv(isa.S4, isa.S0) // arena ptr
+	b.Li(isa.S5, 1)      // next_id
+	b.Li(isa.S6, 0)      // prev record
+	b.Li(isa.S7, 0)      // accumulator
+	b.Li(isa.S3, 0)      // tx index
+
+	b.Label("tx_loop")
+	b.Bge(isa.S3, isa.S11, "pass_end")
+	b.Slli(isa.T0, isa.S3, 3)
+	b.Add(isa.T0, isa.T0, isa.S2)
+	b.Ld(isa.A0, isa.T0, 0) // tx word
+	b.Andi(isa.T1, isa.A0, 3)
+	b.Srli(isa.A0, isa.A0, 2) // payload
+	b.Li(isa.T2, vtxInsert)
+	b.Beq(isa.T1, isa.T2, "do_insert")
+	b.Li(isa.T2, vtxUpdate)
+	b.Beq(isa.T1, isa.T2, "do_update")
+	b.J("do_lookup")
+
+	// --- insert ---
+	b.Label("do_insert")
+	b.Mv(isa.T3, isa.S4) // rec
+	b.Addi(isa.S4, isa.S4, vtxRecBytes)
+	b.Sd(isa.S5, isa.T3, 0) // rec.id = next_id
+	b.Andi(isa.T4, isa.S5, 7)
+	b.Sd(isa.T4, isa.T3, 8) // rec.type = id & 7
+	b.Xor(isa.T4, isa.A0, isa.S5)
+	b.Sd(isa.T4, isa.T3, 16) // rec.value = payload ^ id
+	b.Sd(isa.S6, isa.T3, 24) // rec.link = prev
+	b.Mv(isa.S6, isa.T3)
+	// index insert: probe for an empty slot
+	b.Mul(isa.T0, isa.S5, isa.S10)
+	b.Srli(isa.T0, isa.T0, vtxIndexShift)
+	b.Label("ins_probe")
+	b.Slli(isa.T1, isa.T0, 3)
+	b.Add(isa.T1, isa.T1, isa.S1)
+	b.Ld(isa.T2, isa.T1, 0)
+	b.Beqz(isa.T2, "ins_store")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.And(isa.T0, isa.T0, isa.S8)
+	b.J("ins_probe")
+	b.Label("ins_store")
+	b.Sd(isa.T3, isa.T1, 0)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.J("tx_next")
+
+	// --- lookup: acc += value of target and of up to 3 linked records ---
+	b.Label("do_lookup")
+	b.Call("find_rec") // a0 payload -> a1 record ptr (clobbers t0..t4)
+	b.Ld(isa.T0, isa.A1, 16)
+	b.Add(isa.S7, isa.S7, isa.T0)
+	b.Ld(isa.T1, isa.A1, 24) // link
+	b.Li(isa.T2, 0)          // hop counter
+	b.Label("chase_loop")
+	b.Beqz(isa.T1, "tx_next")
+	b.Ld(isa.T0, isa.T1, 16)
+	b.Add(isa.S7, isa.S7, isa.T0)
+	b.Ld(isa.T1, isa.T1, 24)
+	b.Addi(isa.T2, isa.T2, 1)
+	b.Slti(isa.T0, isa.T2, 3)
+	b.Bnez(isa.T0, "chase_loop")
+	b.J("tx_next")
+
+	// --- update: rec.value += payload & 0xff; acc += new value ---
+	b.Label("do_update")
+	b.Call("find_rec")
+	b.Ld(isa.T0, isa.A1, 16)
+	b.Andi(isa.T1, isa.A0, 0xff)
+	b.Add(isa.T0, isa.T0, isa.T1)
+	b.Sd(isa.T0, isa.A1, 16)
+	b.Add(isa.S7, isa.S7, isa.T0)
+	b.J("tx_next")
+
+	b.Label("tx_next")
+	b.Addi(isa.S3, isa.S3, 1)
+	b.J("tx_loop")
+
+	b.Label("pass_end")
+	b.La(isa.T0, "checksum")
+	b.Sd(isa.S7, isa.T0, 0)
+	b.Li(isa.T1, 1)
+	b.Bne(isa.S9, isa.T1, "perturb")
+	b.La(isa.T0, "golden")
+	b.Sd(isa.S7, isa.T0, 0)
+
+	// Perturb 64 script payloads so later sessions diverge.
+	b.Label("perturb")
+	b.Li(isa.S3, 0)
+	b.Label("perturb_loop")
+	b.Call("rng_next")
+	b.Andi(isa.T0, isa.A7, vtxNumTx-1)
+	b.Slli(isa.T0, isa.T0, 3)
+	b.Add(isa.T0, isa.T0, isa.S2)
+	b.Ld(isa.T1, isa.T0, 0)
+	b.Srli(isa.T2, isa.A7, 13)
+	b.Slli(isa.T2, isa.T2, 9) // keep the low opcode bits intact
+	b.Xor(isa.T1, isa.T1, isa.T2)
+	b.Sd(isa.T1, isa.T0, 0)
+	b.Addi(isa.S3, isa.S3, 1)
+	b.Slti(isa.T0, isa.S3, 64)
+	b.Bnez(isa.T0, "perturb_loop")
+	b.Addi(isa.S9, isa.S9, 1)
+	b.J("pass_loop")
+
+	// find_rec: a0 = payload -> a1 = pointer to record with
+	// id = payload % (next_id-1) + 1. Targets always exist because the
+	// script begins with inserts. Clobbers t0..t4.
+	b.Label("find_rec")
+	b.Addi(isa.T4, isa.S5, -1)
+	b.Rem(isa.T4, isa.A0, isa.T4)
+	b.Addi(isa.T4, isa.T4, 1) // target id
+	b.Mul(isa.T0, isa.T4, isa.S10)
+	b.Srli(isa.T0, isa.T0, vtxIndexShift)
+	b.Label("find_probe")
+	b.Slli(isa.T1, isa.T0, 3)
+	b.Add(isa.T1, isa.T1, isa.S1)
+	b.Ld(isa.A1, isa.T1, 0)
+	b.Ld(isa.T2, isa.A1, 0) // rec.id
+	b.Beq(isa.T2, isa.T4, "find_done")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.And(isa.T0, isa.T0, isa.S8)
+	b.J("find_probe")
+	b.Label("find_done")
+	b.Ret()
+
+	emitRNG(b, "rng_state", uint64(seed)^0x007709)
+	b.Quads("txs", words...)
+	b.Space("objects", vtxNumTx*vtxRecBytes)
+	b.Space("obj_index", vtxIndexSize*8)
+	b.Quads("checksum", 0)
+	b.Quads("golden", 0)
+	return b.Assemble()
+}
+
+// goldenVortex replays the first database session in pure Go.
+func goldenVortex(seed int64) uint64 {
+	script := vortexScript(seed)
+	type rec struct {
+		id, typ, val uint64
+		link         int // index into recs, -1 for none
+	}
+	var recs []rec
+	prev := -1
+	nextID := uint64(1)
+	var acc uint64
+	find := func(payload uint64) *rec {
+		target := payload%(nextID-1) + 1
+		// IDs are dense and sequential: record k has id k+1.
+		return &recs[target-1]
+	}
+	for _, w := range script {
+		op := w & 3
+		payload := w >> 2
+		switch op {
+		case vtxInsert:
+			recs = append(recs, rec{
+				id:   nextID,
+				typ:  nextID & 7,
+				val:  payload ^ nextID,
+				link: prev,
+			})
+			prev = len(recs) - 1
+			nextID++
+		case vtxUpdate:
+			r := find(payload)
+			r.val += payload & 0xff
+			acc += r.val
+		default: // vtxLookup, vtxLookup2
+			r := find(payload)
+			acc += r.val
+			p := r.link
+			for hop := 0; hop < 3 && p >= 0; hop++ {
+				acc += recs[p].val
+				p = recs[p].link
+			}
+		}
+	}
+	return acc
+}

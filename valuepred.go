@@ -1,0 +1,308 @@
+// Package valuepred is a reproduction of Gabbay & Mendelson, "The Effect of
+// Instruction Fetch Bandwidth on Value Prediction" (ISCA 1998): a
+// trace-driven micro-architecture simulation library with eight
+// SPEC95-integer analogue workloads, last-value/stride/hybrid value
+// predictors, dataflow (DID) analysis, the paper's ideal and realistic
+// machine models, a 2-level PAp BTB, a trace cache, and the paper's banked
+// value-prediction delivery network (address router + value distributor).
+//
+// The package is a facade over the internal implementation packages; every
+// table and figure of the paper can be regenerated through RunExperiment or
+// the cmd/vpsim tool, and the building blocks (traces, predictors, machine
+// models) are exposed for custom studies. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package valuepred
+
+import (
+	"fmt"
+
+	"valuepred/internal/btb"
+	"valuepred/internal/core"
+	"valuepred/internal/dfg"
+	"valuepred/internal/experiment"
+	"valuepred/internal/fetch"
+	"valuepred/internal/ideal"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/predictor"
+	"valuepred/internal/stats"
+	"valuepred/internal/trace"
+	"valuepred/internal/workload"
+)
+
+// --- traces and workloads ---
+
+// Rec is one dynamic instruction of a workload trace.
+type Rec = trace.Rec
+
+// TraceSummary aggregates a trace's composition.
+type TraceSummary = trace.Summary
+
+// Benchmark describes one of the eight SPEC95-integer analogues.
+type Benchmark struct {
+	Name        string
+	Description string
+}
+
+// Benchmarks lists the workloads in the paper's Table 3.1 order.
+func Benchmarks() []Benchmark {
+	var out []Benchmark
+	for _, s := range workload.All() {
+		out = append(out, Benchmark{Name: s.Name, Description: s.Description})
+	}
+	return out
+}
+
+// Trace executes the named workload for n dynamic instructions with inputs
+// derived from seed and returns its trace.
+func Trace(name string, seed int64, n int) ([]Rec, error) {
+	return workload.Trace(name, seed, n)
+}
+
+// Summarize aggregates trace statistics.
+func Summarize(recs []Rec) TraceSummary { return trace.Summarize(recs) }
+
+// --- value predictors ---
+
+// Prediction is a value predictor's reply.
+type Prediction = predictor.Prediction
+
+// Predictor is the value-predictor interface (Lookup at fetch, Update with
+// the committed value).
+type Predictor = predictor.Predictor
+
+// NewLastValuePredictor returns an infinite last-value predictor.
+func NewLastValuePredictor() Predictor { return predictor.NewLastValue() }
+
+// NewStridePredictor returns an infinite stride predictor.
+func NewStridePredictor() Predictor { return predictor.NewStride() }
+
+// NewClassifiedStridePredictor returns the paper's predictor: an infinite
+// stride table gated by 2-bit saturating confidence counters.
+func NewClassifiedStridePredictor() Predictor { return predictor.NewClassifiedStride() }
+
+// NewHybridPredictor returns the Section 4.2 hybrid (infinite last-value
+// table + strideEntries-entry stride table) with optional profiling hints.
+func NewHybridPredictor(strideEntries int, hints *ProfileHints) Predictor {
+	if hints == nil {
+		return predictor.NewHybrid(strideEntries, nil)
+	}
+	return predictor.NewHybrid(strideEntries, hints)
+}
+
+// NewFCMPredictor returns an infinite finite-context-method (two-level,
+// context-based) value predictor of the given order, per the paper's
+// reference [22] (Sazeides & Smith).
+func NewFCMPredictor(order int) Predictor { return predictor.NewFCM(order) }
+
+// NewClassifiedFCMPredictor returns an FCM predictor gated by 2-bit
+// confidence counters.
+func NewClassifiedFCMPredictor(order int) Predictor { return predictor.NewClassifiedFCM(order) }
+
+// NewTwoDeltaStridePredictor returns the two-delta stride predictor of the
+// paper's technical reports: the prediction stride is replaced only after
+// the same new delta is observed twice.
+func NewTwoDeltaStridePredictor() Predictor { return predictor.NewTwoDeltaStride() }
+
+// NewLoadsOnlyPredictor restricts inner to the load instructions appearing
+// in recs, modelling load-value prediction per the paper's reference [13].
+func NewLoadsOnlyPredictor(inner Predictor, recs []Rec) Predictor {
+	return predictor.NewLoadsOnlyFromTrace(inner, recs)
+}
+
+// ProfileHints hold per-instruction opcode hints derived from a profiling
+// run (the compiler-feedback mechanism of Section 4.2).
+type ProfileHints = predictor.ProfileHints
+
+// Profile derives opcode hints from a trace prefix; instructions whose best
+// method stays below minAccuracy are marked no-predict.
+func Profile(recs []Rec, minAccuracy float64) *ProfileHints {
+	return predictor.Profile(recs, minAccuracy)
+}
+
+// PredictorAccuracy evaluates p over the value-producing instructions of a
+// trace.
+type PredictorAccuracy = predictor.Accuracy
+
+// EvaluatePredictor measures a predictor's accuracy over a trace.
+func EvaluatePredictor(p Predictor, recs []Rec) PredictorAccuracy {
+	return predictor.Evaluate(p, recs)
+}
+
+// --- dataflow (DID) analysis ---
+
+// DIDAnalysis is the Section 3.3 dataflow-graph analysis result.
+type DIDAnalysis = dfg.Analysis
+
+// AnalyzeDID scans a trace and computes DID statistics over its register
+// dataflow graph (set includeMemoryDeps to add store→load arcs).
+func AnalyzeDID(recs []Rec, includeMemoryDeps bool) *DIDAnalysis {
+	return dfg.Analyze(recs, dfg.Config{IncludeMemoryDeps: includeMemoryDeps})
+}
+
+// --- machine models ---
+
+// IdealConfig parameterises the Section 3 ideal machine.
+type IdealConfig = ideal.Config
+
+// IdealResult is the ideal machine's outcome.
+type IdealResult = ideal.Result
+
+// NewIdealConfig returns the paper's Section 3 configuration at a fetch
+// width (window 40, memory dependencies on, no predictor).
+func NewIdealConfig(fetchWidth int) IdealConfig { return ideal.DefaultConfig(fetchWidth) }
+
+// RunIdeal simulates a trace on the ideal machine.
+func RunIdeal(recs []Rec, cfg IdealConfig) (IdealResult, error) {
+	return ideal.Run(trace.NewSliceSource(recs), cfg)
+}
+
+// IdealSpeedup returns the percent IPC gain of vp over base.
+func IdealSpeedup(base, vp IdealResult) float64 { return ideal.Speedup(base, vp) }
+
+// MachineConfig parameterises the Section 5 realistic machine.
+type MachineConfig = pipeline.Config
+
+// MachineResult is the realistic machine's outcome.
+type MachineResult = pipeline.Result
+
+// NewMachineConfig returns the paper's Section 5 machine (40-wide, window
+// 40, 3-cycle branch penalty) without value prediction.
+func NewMachineConfig() MachineConfig { return pipeline.DefaultConfig() }
+
+// RunMachine simulates the trace delivered by a fetch engine.
+func RunMachine(eng FetchEngine, cfg MachineConfig) (MachineResult, error) {
+	return pipeline.Run(eng, cfg)
+}
+
+// MachineSpeedup returns the percent IPC gain of vp over base.
+func MachineSpeedup(base, vp MachineResult) float64 { return pipeline.Speedup(base, vp) }
+
+// --- branch prediction and fetch engines ---
+
+// BranchPredictor is the control-flow predictor interface.
+type BranchPredictor = btb.Predictor
+
+// NewPerfectBTB returns the ideal branch predictor.
+func NewPerfectBTB() BranchPredictor { return btb.NewPerfect() }
+
+// NewTwoLevelBTB returns the paper's 2-level PAp BTB (2K entries, 2-way,
+// 4-bit histories).
+func NewTwoLevelBTB() BranchPredictor { return btb.NewTwoLevel(btb.DefaultTwoLevelConfig()) }
+
+// NewGShareBTB returns a gshare direction predictor with a 2K-entry target
+// buffer — a post-paper alternative used by ablation.btb to show the
+// headroom better branch prediction buys value prediction.
+func NewGShareBTB() BranchPredictor { return btb.NewGShare(btb.DefaultGShareConfig()) }
+
+// FetchEngine delivers one fetch group per cycle to the realistic machine.
+type FetchEngine = fetch.Engine
+
+// FetchStats carries fetch-engine statistics.
+type FetchStats = fetch.Stats
+
+// NewSequentialFetch returns the conventional fetch engine limited to
+// maxTaken taken branches per cycle (maxTaken < 0 = unlimited).
+func NewSequentialFetch(recs []Rec, bp BranchPredictor, maxTaken int) FetchEngine {
+	return fetch.NewSequential(recs, bp, maxTaken)
+}
+
+// TraceCacheConfig parameterises the trace cache.
+type TraceCacheConfig = fetch.TCConfig
+
+// NewTraceCacheConfig returns the paper's 64-entry, 32-instruction,
+// 6-block organisation.
+func NewTraceCacheConfig() TraceCacheConfig { return fetch.DefaultTCConfig() }
+
+// NewTraceCacheFetch returns the trace-cache fetch engine.
+func NewTraceCacheFetch(recs []Rec, bp BranchPredictor, cfg TraceCacheConfig) FetchEngine {
+	return fetch.NewTraceCache(recs, bp, cfg)
+}
+
+// CollapsingBufferConfig parameterises the collapsing-buffer fetch engine
+// (Conte et al., surveyed in the paper's Section 2.2).
+type CollapsingBufferConfig = fetch.CBConfig
+
+// NewCollapsingBufferConfig returns the classic two-line, 16-instruction
+// organisation.
+func NewCollapsingBufferConfig() CollapsingBufferConfig { return fetch.DefaultCBConfig() }
+
+// NewCollapsingBufferFetch returns the collapsing-buffer fetch engine: two
+// possibly noncontiguous cache lines per cycle.
+func NewCollapsingBufferFetch(recs []Rec, bp BranchPredictor, cfg CollapsingBufferConfig) FetchEngine {
+	return fetch.NewCollapsingBuffer(recs, bp, cfg)
+}
+
+// --- the banked prediction network (Section 4) ---
+
+// NetworkConfig parameterises the value-prediction delivery network.
+type NetworkConfig = core.Config
+
+// Network is the banked prediction table with address router and value
+// distributor.
+type Network = core.Network
+
+// NetworkStats reports router/distributor behaviour.
+type NetworkStats = core.Stats
+
+// NewNetworkConfig returns a 16-bank single-ported network over the
+// classified stride predictor.
+func NewNetworkConfig() NetworkConfig { return core.DefaultConfig() }
+
+// NewNetwork builds a prediction network.
+func NewNetwork(cfg NetworkConfig) (*Network, error) { return core.NewNetwork(cfg) }
+
+// --- experiments ---
+
+// Params configures an experiment run.
+type Params = experiment.Params
+
+// Table is a rendered experiment result.
+type Table = stats.Table
+
+// DefaultParams returns seed 1 with 200k-instruction traces.
+func DefaultParams() Params { return experiment.DefaultParams() }
+
+// ExperimentInfo names a reproducible table or figure.
+type ExperimentInfo struct {
+	ID          string
+	Description string
+}
+
+// Experiments lists every reproducible experiment.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, id := range experiment.IDs() {
+		desc, _ := experiment.Describe(id)
+		out = append(out, ExperimentInfo{ID: id, Description: desc})
+	}
+	return out
+}
+
+// RunExperiment regenerates a table or figure by ID (e.g. "fig3.1",
+// "fig5.3", "ablation.banks").
+func RunExperiment(id string, p Params) (*Table, error) {
+	t, err := experiment.Run(id, p)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return t, nil
+}
+
+// RunExperimentSeeds runs an experiment once per seed and returns the
+// element-wise average table, reducing input-generation noise.
+func RunExperimentSeeds(id string, p Params, seeds []int64) (*Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("valuepred: no seeds given")
+	}
+	var tables []*Table
+	for _, s := range seeds {
+		ps := p
+		ps.Seed = s
+		t, err := RunExperiment(id, ps)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return stats.AverageTables(tables)
+}

@@ -1,0 +1,161 @@
+package valuepred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	if bs[0].Name != "go" || bs[7].Name != "vortex" {
+		t.Errorf("order wrong: %v", bs)
+	}
+	for _, b := range bs {
+		if b.Description == "" {
+			t.Errorf("%s has no description", b.Name)
+		}
+	}
+}
+
+func TestFacadeTraceAndPredict(t *testing.T) {
+	recs, err := Trace("compress95", 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20_000 {
+		t.Fatalf("trace length = %d", len(recs))
+	}
+	s := Summarize(recs)
+	if s.Insts != 20_000 {
+		t.Errorf("summary insts = %d", s.Insts)
+	}
+	acc := EvaluatePredictor(NewStridePredictor(), recs)
+	if acc.HitRate() <= 0 {
+		t.Error("stride predictor scored zero")
+	}
+	lv := EvaluatePredictor(NewLastValuePredictor(), recs)
+	cs := EvaluatePredictor(NewClassifiedStridePredictor(), recs)
+	if cs.ConfidentHitRate() <= lv.HitRate() {
+		t.Errorf("classified stride (%.2f) should beat raw last-value (%.2f) on compress",
+			cs.ConfidentHitRate(), lv.HitRate())
+	}
+	hints := Profile(recs[:5000], 0.5)
+	hy := EvaluatePredictor(NewHybridPredictor(1024, hints), recs)
+	if hy.Eligible == 0 {
+		t.Error("hybrid evaluated nothing")
+	}
+
+	if _, err := Trace("nonesuch", 1, 100); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	recs, err := Trace("vortex", 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunIdeal(recs, NewIdealConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewIdealConfig(16)
+	cfg.Predictor = NewClassifiedStridePredictor()
+	vp, err := RunIdeal(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IdealSpeedup(base, vp) <= 0 {
+		t.Error("no ideal-machine speedup on vortex at width 16")
+	}
+
+	mbase, err := RunMachine(NewSequentialFetch(recs, NewPerfectBTB(), 4), NewMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := NewMachineConfig()
+	mcfg.Predictor = NewClassifiedStridePredictor()
+	mvp, err := RunMachine(NewSequentialFetch(recs, NewPerfectBTB(), 4), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MachineSpeedup(mbase, mvp) <= 0 {
+		t.Error("no realistic-machine speedup on vortex at n=4")
+	}
+
+	// Trace cache + network path.
+	net, err := NewNetwork(NewNetworkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncfg := NewMachineConfig()
+	ncfg.Network = net
+	nres, err := RunMachine(NewTraceCacheFetch(recs, NewTwoLevelBTB(), NewTraceCacheConfig()), ncfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Fetch.TCLookups == 0 {
+		t.Error("trace cache unused")
+	}
+	if net.Stats().Requests == 0 {
+		t.Error("network unused")
+	}
+}
+
+func TestFacadeDID(t *testing.T) {
+	recs, err := Trace("m88ksim", 1, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := AnalyzeDID(recs, false)
+	if a.AvgDID() <= 4 {
+		t.Errorf("m88ksim avg DID = %.1f, paper requires > 4", a.AvgDID())
+	}
+	b := AnalyzeDID(recs, true)
+	if b.Arcs <= a.Arcs {
+		t.Error("memory dependencies added no arcs")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	infos := Experiments()
+	if len(infos) < 10 {
+		t.Fatalf("only %d experiments", len(infos))
+	}
+	p := DefaultParams()
+	p.TraceLen = 10_000
+	p.Workloads = []string{"perl"}
+	tab, err := RunExperiment("fig3.4", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "perl") {
+		t.Error("table missing workload row")
+	}
+	if _, err := RunExperiment("nonesuch", p); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentSeeds(t *testing.T) {
+	p := DefaultParams()
+	p.TraceLen = 8_000
+	p.Workloads = []string{"perl"}
+	tab, err := RunExperimentSeeds("fig3.4", p, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // perl + average
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	if _, err := RunExperimentSeeds("fig3.4", p, nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+}
