@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-tracestore clean
+
+# check is the CI gate: static analysis, a full build, and the test suite
+# under the race detector (the tracestore tests exercise concurrent
+# generation, eviction and singleflight dedup).
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates every table/figure of the paper (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# bench-tracestore measures the trace cache's hit vs miss path cost.
+bench-tracestore:
+	$(GO) test -bench=BenchmarkTraceStore -run=^$$ .
+
+clean:
+	$(GO) clean ./...

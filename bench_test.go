@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"valuepred/internal/emu"
+	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
 )
 
@@ -117,24 +118,57 @@ func BenchmarkAblationVPenalty(b *testing.B) { benchExperiment(b, "ablation.vpen
 
 // --- micro-benchmarks of the simulation substrate ---
 
-var (
-	benchTraces   = map[string][]Rec{}
-	benchTracesMu sync.Mutex
-)
-
+// benchTrace fetches a trace through the shared trace store; repeated
+// benchmarks over the same workload reuse one cached generation.
 func benchTrace(b *testing.B, name string) []Rec {
 	b.Helper()
-	benchTracesMu.Lock()
-	defer benchTracesMu.Unlock()
-	if recs, ok := benchTraces[name]; ok {
-		return recs
-	}
 	recs, err := Trace(name, 1, benchTraceLen)
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchTraces[name] = recs
 	return recs
+}
+
+// BenchmarkTraceStore contrasts the store's miss path (one full emulator
+// run plus insertion) with its hit path (a locked map lookup and
+// sub-slice), the gap every repeated experiment now saves per trace.
+func BenchmarkTraceStore(b *testing.B) {
+	const n = 20_000
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := tracestore.New(0)
+			if _, err := s.Get("compress95", 1, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := tracestore.New(0)
+		if _, err := s.Get("compress95", 1, n); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get("compress95", 1, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+	})
+	b.Run("prefix-hit", func(b *testing.B) {
+		s := tracestore.New(0)
+		if _, err := s.Get("compress95", 1, n); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Get("compress95", 1, n/2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n/2)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+	})
 }
 
 // BenchmarkEmulator measures raw functional-simulation speed.

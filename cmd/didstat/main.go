@@ -44,6 +44,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		names = []string{*name}
 	}
+	// Warm the trace store up front: all emulators run concurrently, and the
+	// per-benchmark loop below then hits the cache (or shares traces with a
+	// prior run in the same process).
+	if err := valuepred.PreloadTraces(names, *seed, *traceLen); err != nil {
+		return err
+	}
 	buckets := []string{"1", "2", "3", "4-7", "8-15", "16-31", ">=32"}
 	for _, n := range names {
 		recs, err := valuepred.Trace(n, *seed, *traceLen)

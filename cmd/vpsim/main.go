@@ -4,7 +4,13 @@
 //
 //	vpsim -list
 //	vpsim -experiment fig3.1 [-seed 1] [-len 200000] [-workloads go,gcc] [-csv] [-o out.txt]
-//	vpsim -all
+//	vpsim -all [-preload] [-cachestats]
+//
+// Traces are served from a process-wide cache, so -all and -seeds N emulate
+// each (workload, seed) pair only once. -preload warms the cache for every
+// selected workload and seed up front (one emulator per goroutine) before
+// the first experiment runs; -cachestats reports the cache's hit/miss/
+// evict/dedup counters on stderr at exit.
 package main
 
 import (
@@ -39,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		md        = fs.Bool("md", false, "emit a Markdown table")
 		chart     = fs.Bool("chart", false, "emit an ASCII bar chart")
 		outPath   = fs.String("o", "", "write output to a file instead of stdout")
+		preload   = fs.Bool("preload", false, "warm the trace cache for all selected workloads and seeds before running")
+		cacheStat = fs.Bool("cachestats", false, "report trace-cache counters on stderr at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +68,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	p.TraceLen = *traceLen
 	if *workloads != "" {
 		p.Workloads = strings.Split(*workloads, ",")
+	}
+
+	if *cacheStat {
+		defer func() {
+			s := valuepred.TraceStoreMetrics()
+			fmt.Fprintf(stderr, "trace cache: %d hits (%d by prefix), %d misses, %d dedups, %d evictions, %d records in %d entries\n",
+				s.Hits, s.PrefixHits, s.Misses, s.Dedups, s.Evictions, s.Records, s.Entries)
+		}()
+	}
+	if *preload {
+		for j := 0; j < *seeds; j++ {
+			if err := valuepred.PreloadTraces(p.Workloads, *seed+int64(j), *traceLen); err != nil {
+				return err
+			}
+		}
 	}
 
 	out := stdout

@@ -81,6 +81,23 @@ func TestMultiSeedAveraging(t *testing.T) {
 	}
 }
 
+func TestPreloadAndCacheStats(t *testing.T) {
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig3.3", "-len", "7000", "-workloads", "go,li",
+		"-preload", "-cachestats"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3.3") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	stats := errb.String()
+	if !strings.Contains(stats, "trace cache:") ||
+		!strings.Contains(stats, "hits") || !strings.Contains(stats, "misses") {
+		t.Errorf("cache stats missing from stderr:\n%s", stats)
+	}
+}
+
 func TestRunExperimentChart(t *testing.T) {
 	var out, errb strings.Builder
 	err := run([]string{"-experiment", "fig3.4", "-len", "8000", "-workloads", "go", "-chart"}, &out, &errb)

@@ -86,6 +86,10 @@ type Stats struct {
 }
 
 // DenyRate returns the fraction of unique accesses denied by conflicts.
+// With no accesses at all the rate is 0: DenyRate counts a failure event,
+// and zero accesses suffered zero denials (the dual of the zero-sample
+// convention in fetch.Stats.BranchAccuracy, where no samples means no
+// failures and the success rate is 1).
 func (s Stats) DenyRate() float64 {
 	total := s.Granted + s.Denied
 	if total == 0 {

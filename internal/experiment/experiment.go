@@ -10,7 +10,9 @@ import (
 	"sort"
 	"sync"
 
+	"valuepred/internal/stats"
 	"valuepred/internal/trace"
+	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
 )
 
@@ -24,6 +26,10 @@ type Params struct {
 	TraceLen int
 	// Workloads restricts the benchmark set (nil = all eight).
 	Workloads []string
+	// Store overrides the trace cache consulted by the run (nil = the
+	// process-wide tracestore.Shared()). Mainly for tests that need an
+	// isolated cache with fresh counters.
+	Store *tracestore.Store
 }
 
 // DefaultParams returns the parameters used by the benchmark harness.
@@ -50,13 +56,26 @@ func (p Params) validate() error {
 	return nil
 }
 
-// traces builds the dynamic trace of every selected workload, one
-// emulator per goroutine.
+// store returns the trace cache this run goes through.
+func (p Params) store() *tracestore.Store {
+	if p.Store != nil {
+		return p.Store
+	}
+	return tracestore.Shared()
+}
+
+// traces fetches the dynamic trace of every selected workload through the
+// trace store, one concurrent request per workload: cached traces return
+// immediately, missing ones run one emulator each, and requests racing
+// with another experiment's are deduplicated by the store. The returned
+// slices alias the cache and must be treated as read-only (every engine
+// only reads its trace).
 func (p Params) traces() (map[string][]trace.Rec, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	names := p.workloads()
+	st := p.store()
 	recs := make([][]trace.Rec, len(names))
 	errs := make([]error, len(names))
 	var wg sync.WaitGroup
@@ -64,7 +83,7 @@ func (p Params) traces() (map[string][]trace.Rec, error) {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			recs[i], errs[i] = workload.Trace(name, p.Seed, p.TraceLen)
+			recs[i], errs[i] = st.Get(name, p.Seed, p.TraceLen)
 		}(i, name)
 	}
 	wg.Wait()
@@ -123,6 +142,43 @@ func Run(id string, p Params) (*Table, error) {
 		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
 	}
 	return e.runner(p)
+}
+
+// preloadAsync warms the trace store for one seed in the background; any
+// generation error is re-reported by the foreground Get that needs the
+// trace, so it is safe to drop here.
+func (p Params) preloadAsync(seed int64) {
+	st := p.store()
+	names := p.workloads()
+	go st.Preload(names, seed, p.TraceLen) //nolint:errcheck
+}
+
+// RunSeeds executes the experiment once per seed and returns the
+// element-wise average table. While one seed's machines simulate, the next
+// seed's traces are generated in the background through the trace store, so
+// multi-seed runs overlap emulation with simulation; repeated calls (e.g. a
+// second experiment id over the same seeds) reuse every cached trace.
+func RunSeeds(id string, p Params, seeds []int64) (*Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	tables := make([]*Table, 0, len(seeds))
+	for i, s := range seeds {
+		if i+1 < len(seeds) {
+			p.preloadAsync(seeds[i+1])
+		}
+		ps := p
+		ps.Seed = s
+		t, err := Run(id, ps)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return stats.AverageTables(tables)
 }
 
 // workloadGet returns the Table 3.1 description of a benchmark.

@@ -52,15 +52,21 @@ type Stats struct {
 }
 
 // BranchAccuracy returns the fraction of correctly predicted control
-// instructions.
+// instructions. With no predictions at all (e.g. a branch-free trace)
+// nothing was ever mispredicted, so the accuracy is 1 — returning 0 would
+// report a perfect fetch stream as 0% accurate and drag down averaged
+// accuracy columns.
 func (s Stats) BranchAccuracy() float64 {
 	if s.Predictions == 0 {
-		return 0
+		return 1
 	}
 	return 1 - float64(s.Mispredicts)/float64(s.Predictions)
 }
 
-// TCHitRate returns the trace-cache hit rate.
+// TCHitRate returns the trace-cache hit rate. With no lookups (e.g. a
+// sequential engine, which has no trace cache) the rate is 0: unlike
+// BranchAccuracy this is a benefit rate, and an absent cache delivers no
+// benefit.
 func (s Stats) TCHitRate() float64 {
 	if s.TCLookups == 0 {
 		return 0

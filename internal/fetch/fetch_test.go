@@ -123,6 +123,38 @@ func TestSequentialMispredictTruncates(t *testing.T) {
 	}
 }
 
+func TestBranchAccuracyZeroSample(t *testing.T) {
+	// A branch-free stream makes zero predictions; its accuracy is a
+	// vacuous 100%, not 0% (which would drag averaged accuracy columns
+	// down for straight-line traces).
+	if got := (Stats{}).BranchAccuracy(); got != 1 {
+		t.Errorf("zero-sample BranchAccuracy = %v, want 1", got)
+	}
+	b := asm.NewBuilder()
+	for i := 0; i < 40; i++ {
+		b.Addi(isa.T0, isa.T0, 1)
+	}
+	b.Halt()
+	m := emu.New(asm.MustAssemble(b))
+	recs := m.Run(0)
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	e := NewSequential(recs[:len(recs)-1], btb.NewTwoLevel(btb.DefaultTwoLevelConfig()), 1)
+	drain(t, e, 8)
+	st := e.Stats()
+	if st.Predictions != 0 {
+		t.Fatalf("straight-line trace made %d predictions", st.Predictions)
+	}
+	if got := st.BranchAccuracy(); got != 1 {
+		t.Errorf("branch-free trace BranchAccuracy = %v, want 1", got)
+	}
+	// The zero-sample trace-cache hit rate stays 0 (no lookups, no benefit).
+	if got := st.TCHitRate(); got != 0 {
+		t.Errorf("zero-sample TCHitRate = %v, want 0", got)
+	}
+}
+
 func TestRASPredictsReturns(t *testing.T) {
 	// call/return pairs: with a completely cold BTB, the RAS must still
 	// predict every return correctly.

@@ -42,24 +42,50 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// averageLabel names the summary row produced by AppendAverage.
+const averageLabel = "average"
+
 // AppendAverage adds an arithmetic-mean row labelled "average" over the
-// current rows.
+// current data rows. Each column is averaged over the rows that actually
+// contributed a cell to it, so ragged rows do not drag a column's mean
+// toward zero; columns with no contributions are omitted (rendered "-").
+// Any existing "average" row is excluded from the mean and replaced, making
+// repeated calls idempotent.
 func (t *Table) AppendAverage() {
-	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+	if len(t.Columns) == 0 {
 		return
 	}
-	avg := make([]float64, len(t.Columns))
+	sum := make([]float64, len(t.Columns))
+	count := make([]int, len(t.Columns))
+	rows := t.Rows[:0:0]
 	for _, r := range t.Rows {
+		if r.Label == averageLabel {
+			continue // a previous summary row is not data
+		}
+		rows = append(rows, r)
 		for i, c := range r.Cells {
-			if i < len(avg) {
-				avg[i] += c
+			if i < len(sum) {
+				sum[i] += c
+				count[i]++
 			}
 		}
 	}
-	for i := range avg {
-		avg[i] /= float64(len(t.Rows))
+	if len(rows) == 0 {
+		return
 	}
-	t.AddRow("average", avg...)
+	width := 0
+	for i, n := range count {
+		if n > 0 {
+			width = i + 1
+		}
+	}
+	avg := make([]float64, width)
+	for i := range avg {
+		if count[i] > 0 {
+			avg[i] = sum[i] / float64(count[i])
+		}
+	}
+	t.Rows = append(rows, Row{Label: averageLabel, Cells: avg})
 }
 
 // Row returns the row with the given label and whether it exists.
@@ -207,12 +233,21 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 }
 
 // AverageTables element-wise averages tables with identical structure
-// (same title, columns and row labels), for multi-seed experiment runs.
+// (same columns and row labels), for multi-seed experiment runs. Tables
+// whose shapes differ — column count or headers, row count, row labels, or
+// per-row cell counts — are rejected with an error naming the first
+// mismatch, so an inconsistent per-seed run fails loudly instead of
+// silently aggregating unrelated cells.
 func AverageTables(tables []*Table) (*Table, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("stats: no tables to average")
 	}
 	first := tables[0]
+	for ti, t := range tables[1:] {
+		if err := sameShape(first, t); err != nil {
+			return nil, fmt.Errorf("stats: cannot average: table %d vs table 0: %w", ti+1, err)
+		}
+	}
 	out := &Table{
 		Title:     first.Title,
 		RowHeader: first.RowHeader,
@@ -222,10 +257,6 @@ func AverageTables(tables []*Table) (*Table, error) {
 	for ri, r := range first.Rows {
 		cells := make([]float64, len(r.Cells))
 		for _, t := range tables {
-			if len(t.Rows) != len(first.Rows) || t.Rows[ri].Label != r.Label ||
-				len(t.Rows[ri].Cells) != len(r.Cells) {
-				return nil, fmt.Errorf("stats: table shapes differ (row %q)", r.Label)
-			}
 			for ci, c := range t.Rows[ri].Cells {
 				cells[ci] += c
 			}
@@ -239,6 +270,32 @@ func AverageTables(tables []*Table) (*Table, error) {
 		out.AddNote("averaged over %d seeds", len(tables))
 	}
 	return out, nil
+}
+
+// sameShape reports the first structural difference between two tables, or
+// nil if they are element-wise compatible.
+func sameShape(a, b *Table) error {
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Errorf("column counts differ (%d vs %d)", len(b.Columns), len(a.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return fmt.Errorf("column %d differs (%q vs %q)", i, b.Columns[i], a.Columns[i])
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row counts differ (%d vs %d)", len(b.Rows), len(a.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Label != b.Rows[i].Label {
+			return fmt.Errorf("row %d labels differ (%q vs %q)", i, b.Rows[i].Label, a.Rows[i].Label)
+		}
+		if len(a.Rows[i].Cells) != len(b.Rows[i].Cells) {
+			return fmt.Errorf("row %q cell counts differ (%d vs %d)",
+				a.Rows[i].Label, len(b.Rows[i].Cells), len(a.Rows[i].Cells))
+		}
+	}
+	return nil
 }
 
 // RenderChart writes the table as a grouped horizontal ASCII bar chart, the

@@ -35,6 +35,48 @@ func TestAppendAverage(t *testing.T) {
 	}
 }
 
+func TestAppendAverageRaggedRows(t *testing.T) {
+	tab := &Table{RowHeader: "r", Columns: []string{"a", "b", "c"}}
+	tab.AddRow("x", 2, 4)
+	tab.AddRow("y", 4) // contributes to column a only
+	tab.AppendAverage()
+	r, ok := tab.Row("average")
+	if !ok {
+		t.Fatal("no average row")
+	}
+	// Column a: (2+4)/2; column b: 4/1, not 4/2; column c: no contributions,
+	// so the average row stops before it.
+	if len(r.Cells) != 2 || r.Cells[0] != 3 || r.Cells[1] != 4 {
+		t.Errorf("ragged average = %v, want [3 4]", r.Cells)
+	}
+}
+
+func TestAppendAverageIdempotent(t *testing.T) {
+	tab := sample()
+	tab.AppendAverage()
+	tab.AppendAverage() // must not fold the first average row into the mean
+	var n int
+	for _, r := range tab.Rows {
+		if r.Label == "average" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d average rows after two calls, want 1", n)
+	}
+	r, _ := tab.Row("average")
+	if r.Cells[0] != 2 || r.Cells[1] != 3 {
+		t.Errorf("second AppendAverage skewed the mean: %v, want [2 3]", r.Cells)
+	}
+	// A table holding only an average row gains nothing.
+	only := &Table{Columns: []string{"a"}}
+	only.AddRow("average", 7)
+	only.AppendAverage()
+	if len(only.Rows) != 1 || only.Rows[0].Cells[0] != 7 {
+		t.Errorf("average-only table changed: %+v", only.Rows)
+	}
+}
+
 func TestCellLookup(t *testing.T) {
 	tab := sample()
 	if v, ok := tab.Cell("gcc", "b"); !ok || v != 4 {
@@ -153,14 +195,35 @@ func TestAverageTables(t *testing.T) {
 	if len(avg.Notes) == 0 {
 		t.Error("multi-table average should note the seed count")
 	}
-	// Shape mismatches are rejected.
-	c := sample()
-	c.Rows[0].Label = "other"
-	if _, err := AverageTables([]*Table{a, c}); err == nil {
-		t.Error("mismatched tables averaged")
-	}
 	if _, err := AverageTables(nil); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+func TestAverageTablesRejectsShapeMismatch(t *testing.T) {
+	damage := []struct {
+		name   string
+		mutate func(*Table)
+		want   string
+	}{
+		{"row label", func(c *Table) { c.Rows[0].Label = "other" }, "labels differ"},
+		{"row count", func(c *Table) { c.Rows = c.Rows[:1] }, "row counts differ"},
+		{"column count", func(c *Table) { c.Columns = append(c.Columns, "z") }, "column counts differ"},
+		{"column header", func(c *Table) { c.Columns[1] = "z" }, "column 1 differs"},
+		{"cell count", func(c *Table) { c.Rows[1].Cells = c.Rows[1].Cells[:1] }, "cell counts differ"},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			a, c := sample(), sample()
+			d.mutate(c)
+			_, err := AverageTables([]*Table{a, c})
+			if err == nil {
+				t.Fatalf("%s mismatch silently averaged", d.name)
+			}
+			if !strings.Contains(err.Error(), d.want) {
+				t.Errorf("error %q does not describe the mismatch (want %q)", err, d.want)
+			}
+		})
 	}
 }
 

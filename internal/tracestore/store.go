@@ -1,0 +1,242 @@
+// Package tracestore provides a process-wide, concurrency-safe cache of
+// workload traces. The paper's evaluation sweeps many machine
+// configurations over the same eight benchmark traces; without a cache
+// every experiment.Run call rebuilds all of them from scratch, and
+// multi-seed averaging multiplies that again. The store makes trace
+// generation happen at most once per (workload, seed, length) per process:
+//
+//   - entries are keyed by (workload, seed) and hold the longest trace
+//     generated so far for that pair; because the emulator is deterministic,
+//     a request for any shorter length is served by sub-slicing the cached
+//     prefix (a logical (workload, seed, traceLen) key with prefix
+//     subsumption);
+//   - total size is bounded by record count with least-recently-used
+//     eviction;
+//   - concurrent requests for the same key are deduplicated ("singleflight"):
+//     exactly one goroutine runs the emulator, the rest wait and share the
+//     result;
+//   - hit/miss/evict/dedup counters are exposed through Stats.
+//
+// Traces returned by the store are shared between callers and MUST be
+// treated as read-only; the simulation engines only ever read them.
+package tracestore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"valuepred/internal/trace"
+	"valuepred/internal/workload"
+)
+
+// DefaultLimit is the record-count bound of the Shared store: roughly 40
+// full-length (200k-instruction) traces, comfortably holding several seeds
+// of the eight benchmarks (~0.5 GB at 64 bytes per record).
+const DefaultLimit = 8 << 20
+
+// Stats is a snapshot of the store's behaviour counters.
+type Stats struct {
+	// Hits counts Get calls served from a cached trace. PrefixHits is the
+	// subset served by sub-slicing an entry longer than the request.
+	Hits       uint64
+	PrefixHits uint64
+	// Misses counts Get calls that ran the emulator.
+	Misses uint64
+	// Dedups counts Get calls that piggybacked on another goroutine's
+	// in-flight generation instead of starting their own.
+	Dedups uint64
+	// Evictions counts entries discarded to respect the record bound.
+	Evictions uint64
+	// Records and Entries describe current occupancy.
+	Records int
+	Entries int
+}
+
+// key identifies a cached trace. Length is not part of the key: the entry
+// for (workload, seed) always holds the longest trace generated so far, and
+// shorter requests reuse its prefix.
+type key struct {
+	workload string
+	seed     int64
+}
+
+type entry struct {
+	recs []trace.Rec
+	elem *list.Element // position in the LRU list; value is the key
+}
+
+// flight is one in-progress generation that concurrent callers can join.
+type flight struct {
+	done chan struct{}
+	n    int // length being generated
+	recs []trace.Rec
+	err  error
+}
+
+// Store is a size-bounded, concurrency-safe trace cache.
+type Store struct {
+	mu       sync.Mutex
+	limit    int // max total records; <= 0 means unbounded
+	entries  map[key]*entry
+	lru      *list.List // front = most recently used
+	total    int
+	inflight map[key]*flight
+	stats    Stats
+	gen      func(name string, seed int64, n int) ([]trace.Rec, error)
+}
+
+// New returns a store bounded to at most limit cached records across all
+// entries (limit <= 0 means unbounded).
+func New(limit int) *Store {
+	return &Store{
+		limit:    limit,
+		entries:  make(map[key]*entry),
+		lru:      list.New(),
+		inflight: make(map[key]*flight),
+		gen:      workload.Trace,
+	}
+}
+
+var shared = New(DefaultLimit)
+
+// Shared returns the process-wide store used by the experiment runners and
+// the valuepred facade.
+func Shared() *Store { return shared }
+
+// Get returns the first n records of the named workload's trace for seed,
+// generating it at most once per process for any concurrent and future
+// callers. The returned slice aliases the cache and must not be modified.
+func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tracestore: trace length must be positive, have %d", n)
+	}
+	if _, ok := workload.Get(name); !ok {
+		return nil, fmt.Errorf("tracestore: unknown workload %q", name)
+	}
+	k := key{workload: name, seed: seed}
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok && len(e.recs) >= n {
+			s.lru.MoveToFront(e.elem)
+			s.stats.Hits++
+			if len(e.recs) > n {
+				s.stats.PrefixHits++
+			}
+			recs := e.recs[:n:n]
+			s.mu.Unlock()
+			return recs, nil
+		}
+		if f, ok := s.inflight[k]; ok {
+			if f.n >= n {
+				// Join the in-flight generation and sub-slice its result.
+				s.stats.Dedups++
+				s.mu.Unlock()
+				<-f.done
+				if f.err != nil {
+					return nil, f.err
+				}
+				return f.recs[:n:n], nil
+			}
+			// A shorter generation is in flight; wait for it to settle and
+			// re-evaluate (we will then miss and generate the longer trace).
+			s.mu.Unlock()
+			<-f.done
+			continue
+		}
+		f := &flight{done: make(chan struct{}), n: n}
+		s.inflight[k] = f
+		s.stats.Misses++
+		s.mu.Unlock()
+
+		recs, err := s.gen(name, seed, n)
+		f.recs, f.err = recs, err
+
+		s.mu.Lock()
+		delete(s.inflight, k)
+		if err == nil {
+			s.insert(k, recs)
+		}
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return recs[:n:n], nil
+	}
+}
+
+// insert stores recs under k (replacing any shorter entry) and evicts
+// least-recently-used entries until the record bound holds. Called with
+// s.mu held. A trace larger than the whole bound is returned to the caller
+// but not cached.
+func (s *Store) insert(k key, recs []trace.Rec) {
+	if old, ok := s.entries[k]; ok {
+		if len(old.recs) >= len(recs) {
+			return // a concurrent caller already cached an equal/longer trace
+		}
+		s.total -= len(old.recs)
+		s.lru.Remove(old.elem)
+		delete(s.entries, k)
+	}
+	if s.limit > 0 && len(recs) > s.limit {
+		return
+	}
+	for s.limit > 0 && s.total+len(recs) > s.limit {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		bk := back.Value.(key)
+		s.total -= len(s.entries[bk].recs)
+		delete(s.entries, bk)
+		s.lru.Remove(back)
+		s.stats.Evictions++
+	}
+	s.entries[k] = &entry{recs: recs, elem: s.lru.PushFront(k)}
+	s.total += len(recs)
+}
+
+// Preload warms the store with the traces of every named workload at the
+// given seed and length, generating them concurrently (one emulator per
+// goroutine, deduplicated with any other caller). It returns the first
+// generation error, if any.
+func (s *Store) Preload(names []string, seed int64, n int) error {
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.Get(name, seed, n)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = s.total
+	st.Entries = len(s.entries)
+	return st
+}
+
+// Reset drops every cached entry and zeroes the counters. In-flight
+// generations complete and are cached as usual.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[key]*entry)
+	s.lru.Init()
+	s.total = 0
+	s.stats = Stats{}
+}

@@ -1,0 +1,287 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"valuepred/internal/trace"
+	"valuepred/internal/workload"
+)
+
+// newStubbed returns a store whose generator fabricates records locally
+// (Val = seed, Seq = index) and counts invocations, so cache behaviour can
+// be tested without running the emulator.
+func newStubbed(limit int) (*Store, *atomic.Int64) {
+	s := New(limit)
+	var calls atomic.Int64
+	s.gen = func(name string, seed int64, n int) ([]trace.Rec, error) {
+		calls.Add(1)
+		recs := make([]trace.Rec, n)
+		for i := range recs {
+			recs[i] = trace.Rec{Seq: uint64(i), Val: uint64(seed)}
+		}
+		return recs, nil
+	}
+	return s, &calls
+}
+
+func mustGet(t *testing.T, s *Store, name string, seed int64, n int) []trace.Rec {
+	t.Helper()
+	recs, err := s.Get(name, seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("Get(%s,%d,%d) returned %d records", name, seed, n, len(recs))
+	}
+	return recs
+}
+
+func TestKeying(t *testing.T) {
+	s, calls := newStubbed(0)
+	mustGet(t, s, "go", 1, 100)
+	mustGet(t, s, "go", 1, 100)   // same key: hit
+	mustGet(t, s, "gcc", 1, 100)  // different workload: miss
+	mustGet(t, s, "go", 2, 100)   // different seed: miss
+	if got := calls.Load(); got != 3 {
+		t.Errorf("generator ran %d times, want 3", got)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 3 || st.Records != 300 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Traces from different seeds must not alias.
+	if a, b := mustGet(t, s, "go", 1, 1), mustGet(t, s, "go", 2, 1); a[0].Val == b[0].Val {
+		t.Error("seeds share a cache entry")
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	s := New(0)
+	if _, err := s.Get("go", 1, 0); err == nil {
+		t.Error("zero-length request accepted")
+	}
+	if _, err := s.Get("nonesuch", 1, 10); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGenerationErrorNotCached(t *testing.T) {
+	s := New(0)
+	boom := errors.New("boom")
+	fail := true
+	s.gen = func(name string, seed int64, n int) ([]trace.Rec, error) {
+		if fail {
+			return nil, boom
+		}
+		return make([]trace.Rec, n), nil
+	}
+	if _, err := s.Get("go", 1, 10); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	fail = false
+	if _, err := s.Get("go", 1, 10); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+}
+
+func TestPrefixReuse(t *testing.T) {
+	s, calls := newStubbed(0)
+	long := mustGet(t, s, "go", 1, 500)
+	short := mustGet(t, s, "go", 1, 200)
+	if calls.Load() != 1 {
+		t.Fatalf("generator ran %d times, want 1 (prefix reuse)", calls.Load())
+	}
+	if !reflect.DeepEqual(short, long[:200]) {
+		t.Error("short trace is not a prefix of the long one")
+	}
+	st := s.Stats()
+	if st.PrefixHits != 1 {
+		t.Errorf("PrefixHits = %d, want 1", st.PrefixHits)
+	}
+	// The sub-slice must have a clipped capacity so callers cannot append
+	// into the cached backing array.
+	if cap(short) != 200 {
+		t.Errorf("prefix capacity = %d, want 200", cap(short))
+	}
+	// Growing the request regenerates and replaces the entry.
+	mustGet(t, s, "go", 1, 800)
+	if calls.Load() != 2 {
+		t.Errorf("generator ran %d times after growth, want 2", calls.Load())
+	}
+	if st := s.Stats(); st.Records != 800 || st.Entries != 1 {
+		t.Errorf("after growth stats = %+v, want one 800-record entry", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, _ := newStubbed(250) // room for two 100-record traces, not three
+	mustGet(t, s, "go", 1, 100)
+	mustGet(t, s, "gcc", 1, 100)
+	mustGet(t, s, "go", 1, 100) // touch go: gcc becomes least recent
+	mustGet(t, s, "li", 1, 100) // evicts gcc
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Records != 200 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	before := st.Misses
+	mustGet(t, s, "go", 1, 100) // still cached
+	mustGet(t, s, "li", 1, 100) // still cached
+	mustGet(t, s, "gcc", 1, 100)
+	if st := s.Stats(); st.Misses != before+1 {
+		t.Errorf("misses went %d -> %d, want exactly one (the evicted gcc)", before, st.Misses)
+	}
+	// A trace larger than the whole bound is returned but not cached.
+	mustGet(t, s, "perl", 1, 300)
+	if st := s.Stats(); st.Records > 250 {
+		t.Errorf("oversized trace was cached: %+v", st)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s := New(0)
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.gen = func(name string, seed int64, n int) ([]trace.Rec, error) {
+		calls.Add(1)
+		close(entered)
+		<-release // hold the generation until every other caller has joined it
+		recs := make([]trace.Rec, n)
+		for i := range recs {
+			recs[i] = trace.Rec{Seq: uint64(i)}
+		}
+		return recs, nil
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]trace.Rec, callers)
+	errs := make([]error, callers)
+	wg.Add(callers)
+	// The longest request registers the flight first, so every follower can
+	// be served from it (a shorter concurrent request joins and sub-slices).
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = s.Get("go", 1, 1000)
+	}()
+	<-entered
+	for i := 1; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			n := 1000
+			if i%2 == 1 {
+				n = 600
+			}
+			results[i], errs[i] = s.Get("go", 1, n)
+		}(i)
+	}
+	// Every follower increments Dedups before blocking on the flight; wait
+	// for all of them to have joined, then let the generation finish.
+	for s.Stats().Dedups != callers-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("generator ran %d times under %d concurrent callers, want 1", calls.Load(), callers)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Dedups != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d dedups", st, callers-1)
+	}
+	for i, recs := range results {
+		want := 1000
+		if i%2 == 1 {
+			want = 600
+		}
+		if len(recs) != want {
+			t.Errorf("caller %d got %d records, want %d", i, len(recs), want)
+		}
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	// Exercised under -race: many goroutines over few keys with growing
+	// lengths, mixing hits, prefix hits, dedups and regenerations.
+	s, _ := newStubbed(10_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"go", "gcc", "li"}
+			for i := 0; i < 50; i++ {
+				name := names[(g+i)%len(names)]
+				n := 50 + 10*(i%7)
+				recs, err := s.Get(name, int64(i%3), n)
+				if err != nil {
+					panic(err)
+				}
+				if len(recs) != n {
+					panic(fmt.Sprintf("got %d records, want %d", len(recs), n))
+				}
+				_ = s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDeterminism(t *testing.T) {
+	// Cached traces must be bit-identical to freshly generated ones, and a
+	// prefix of a longer run must equal a run of exactly that length.
+	const n = 2_000
+	s := New(0)
+	cached, err := s.Get("compress95", 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := workload.Trace("compress95", 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, fresh) {
+		t.Error("cached trace differs from a fresh emulator run")
+	}
+	longer, err := s.Get("compress95", 1, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(longer[:n], fresh) {
+		t.Error("prefix of a longer trace differs from a run of that length")
+	}
+}
+
+func TestPreloadAndReset(t *testing.T) {
+	s, calls := newStubbed(0)
+	names := []string{"go", "gcc", "li", "perl"}
+	if err := s.Preload(names, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != int64(len(names)) {
+		t.Errorf("preload ran the generator %d times, want %d", calls.Load(), len(names))
+	}
+	for _, name := range names {
+		mustGet(t, s, name, 1, 100)
+	}
+	if st := s.Stats(); st.Hits != uint64(len(names)) || st.Misses != uint64(len(names)) {
+		t.Errorf("stats after preload+get = %+v", st)
+	}
+	if err := s.Preload([]string{"go", "nonesuch"}, 1, 10); err == nil {
+		t.Error("preload of an unknown workload succeeded")
+	}
+	s.Reset()
+	if st := s.Stats(); st.Entries != 0 || st.Records != 0 || st.Hits != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}

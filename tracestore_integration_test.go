@@ -1,0 +1,100 @@
+package valuepred
+
+import (
+	"reflect"
+	"testing"
+
+	"valuepred/internal/tracestore"
+	"valuepred/internal/workload"
+)
+
+// TestRunExperimentSeedsGeneratesEachTraceOnce is the acceptance test for
+// the trace store: sweeping two experiment ids over three seeds must run
+// the emulator exactly once per (workload, seed) pair — every further use,
+// including the second experiment id and the multi-seed averaging, is a
+// cache hit or an in-flight dedup.
+func TestRunExperimentSeedsGeneratesEachTraceOnce(t *testing.T) {
+	st := tracestore.New(0)
+	p := DefaultParams()
+	p.TraceLen = 4_000
+	p.Store = st
+	seeds := []int64{1, 2, 3}
+	ids := []string{"fig3.3", "fig3.4"}
+
+	tables := map[string]*Table{}
+	for _, id := range ids {
+		tab, err := RunExperimentSeeds(id, p, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[id] = tab
+	}
+
+	wantGen := uint64(len(workload.Names()) * len(seeds))
+	s := st.Stats()
+	if s.Misses != wantGen {
+		t.Errorf("emulator ran %d times for %d workloads x %d seeds x %d ids, want exactly %d",
+			s.Misses, len(workload.Names()), len(seeds), len(ids), wantGen)
+	}
+	if s.Hits == 0 {
+		t.Error("second experiment id produced no cache hits")
+	}
+
+	// Re-running over a warm cache must add no generations and reproduce
+	// the tables bit-identically.
+	for _, id := range ids {
+		again, err := RunExperimentSeeds(id, p, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, tables[id]) {
+			t.Errorf("%s: warm-cache table differs from cold-cache table", id)
+		}
+	}
+	if s2 := st.Stats(); s2.Misses != wantGen {
+		t.Errorf("warm rerun regenerated traces: misses %d -> %d", wantGen, s2.Misses)
+	}
+}
+
+// TestExperimentMatchesUncachedPath pins the cached experiment path to the
+// uncached one: a table computed from store-served traces must equal the
+// table computed when every trace is generated fresh (an isolated cold
+// store per run, i.e. the pre-cache behaviour).
+func TestExperimentMatchesUncachedPath(t *testing.T) {
+	p := DefaultParams()
+	p.TraceLen = 6_000
+	p.Workloads = []string{"compress95", "vortex"}
+
+	run := func() *Table {
+		t.Helper()
+		pc := p
+		pc.Store = tracestore.New(0) // cold: every trace generated fresh
+		tab, err := RunExperiment("fig5.2", pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	uncached := run()
+
+	pc := p
+	pc.Store = tracestore.New(0)
+	if err := pc.Store.Preload(p.Workloads, p.Seed, p.TraceLen); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunExperiment("fig5.2", pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pc.Store.Stats(); st.Hits == 0 {
+		t.Fatalf("preloaded run hit the cache 0 times: %+v", st)
+	}
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Error("cached run's table differs from the uncached path")
+	}
+	// Determinism across two independent cold runs (guards the comparison
+	// above against hiding nondeterminism).
+	if again := run(); !reflect.DeepEqual(again, uncached) {
+		t.Error("experiment is nondeterministic across cold runs; table comparison is meaningless")
+	}
+}

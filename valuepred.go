@@ -26,6 +26,7 @@ import (
 	"valuepred/internal/predictor"
 	"valuepred/internal/stats"
 	"valuepred/internal/trace"
+	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
 )
 
@@ -52,11 +53,43 @@ func Benchmarks() []Benchmark {
 	return out
 }
 
-// Trace executes the named workload for n dynamic instructions with inputs
-// derived from seed and returns its trace.
+// Trace returns the trace of the named workload for n dynamic instructions
+// with inputs derived from seed. Traces are served from the process-wide
+// trace store: the emulator runs at most once per (workload, seed, length),
+// concurrent requests are deduplicated, and a longer cached trace serves
+// shorter requests by prefix. The returned slice is shared between callers
+// and must be treated as read-only; use TraceUncached for a private copy.
 func Trace(name string, seed int64, n int) ([]Rec, error) {
+	return tracestore.Shared().Get(name, seed, n)
+}
+
+// TraceUncached executes the named workload directly, bypassing the trace
+// store, and returns a freshly generated (caller-owned, mutable) trace.
+func TraceUncached(name string, seed int64, n int) ([]Rec, error) {
 	return workload.Trace(name, seed, n)
 }
+
+// PreloadTraces warms the trace store with the named workloads (nil = all
+// eight benchmarks) at the given seed and length, running the emulators
+// concurrently. Subsequent Trace and RunExperiment calls at that seed and
+// up to that length are then cache hits.
+func PreloadTraces(names []string, seed int64, n int) error {
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	return tracestore.Shared().Preload(names, seed, n)
+}
+
+// TraceStoreStats is a snapshot of the shared trace store's counters.
+type TraceStoreStats = tracestore.Stats
+
+// TraceStoreMetrics reports the shared trace store's hit/miss/evict/dedup
+// counters and current occupancy.
+func TraceStoreMetrics() TraceStoreStats { return tracestore.Shared().Stats() }
+
+// ResetTraceStore drops every cached trace and zeroes the store's counters,
+// returning the memory to the garbage collector.
+func ResetTraceStore() { tracestore.Shared().Reset() }
 
 // Summarize aggregates trace statistics.
 func Summarize(recs []Rec) TraceSummary { return trace.Summarize(recs) }
@@ -289,20 +322,14 @@ func RunExperiment(id string, p Params) (*Table, error) {
 }
 
 // RunExperimentSeeds runs an experiment once per seed and returns the
-// element-wise average table, reducing input-generation noise.
+// element-wise average table, reducing input-generation noise. Traces come
+// from the shared trace store: each (workload, seed) pair is emulated at
+// most once per process, and while one seed simulates the next seed's
+// traces are generated in the background.
 func RunExperimentSeeds(id string, p Params, seeds []int64) (*Table, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("valuepred: no seeds given")
+	t, err := experiment.RunSeeds(id, p, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
 	}
-	var tables []*Table
-	for _, s := range seeds {
-		ps := p
-		ps.Seed = s
-		t, err := RunExperiment(id, ps)
-		if err != nil {
-			return nil, err
-		}
-		tables = append(tables, t)
-	}
-	return stats.AverageTables(tables)
+	return t, nil
 }
