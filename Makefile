@@ -1,17 +1,24 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-tracestore clean
+.PHONY: check build vet lint test race bench bench-tracestore clean
 
-# check is the CI gate: static analysis, a full build, and the test suite
-# under the race detector (the tracestore tests exercise concurrent
-# generation, eviction and singleflight dedup).
-check: vet build race
+# check is the CI gate: static analysis (go vet + the custom vplint
+# suite), a full build, and the test suite under the race detector (the
+# tracestore tests exercise concurrent generation, eviction and
+# singleflight dedup).
+check: vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own analyzers (detlint, errlint, keyedlint,
+# mutexlint — see DESIGN.md "Determinism contract & lint suite") over every
+# package and fails on any diagnostic.
+lint:
+	$(GO) run ./cmd/vplint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,86 @@
+// Command vplint is the repository's multichecker: it runs the custom
+// determinism and stats-safety analyzers (detlint, errlint, keyedlint,
+// mutexlint — see DESIGN.md, "Determinism contract & lint suite") over the
+// packages matched by the given patterns and exits non-zero if any
+// diagnostic fires.
+//
+// Usage:
+//
+//	vplint [-C dir] [-only detlint,errlint] [packages...]   # default ./...
+//	vplint -list
+//
+// A false positive is suppressed in source with
+//
+//	//vplint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the diagnostic's line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"valuepred/internal/lint"
+	"valuepred/internal/lint/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vplint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir   = fs.String("C", ".", "directory of the module to analyze")
+		only  = fs.String("only", "", "comma-separated subset of analyzers to run (default all)")
+		list  = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown analyzer %q (run vplint -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*dir, patterns, analyzers)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if n := len(diags); n > 0 {
+		return fmt.Errorf("%d issue(s) found", n)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKnownBadFixture runs the full multichecker over the known-bad module
+// under testdata and asserts that every analyzer fires, that the run exits
+// with an error, and that the suppression directive silences the
+// deliberately ignored violation.
+func TestKnownBadFixture(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run([]string{"-C", "testdata/src", "./..."}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("expected an error for the known-bad fixture, got none\noutput:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []struct{ analyzer, fragment string }{
+		{"detlint", "map iteration order is randomized"},
+		{"errlint", "error returned by stats.Load is discarded"},
+		{"keyedlint", "unkeyed fields in composite literal of Config"},
+		{"mutexlint", "receiver passes bad/use.Guarded by value"},
+	} {
+		if !strings.Contains(got, want.analyzer+": ") || !strings.Contains(got, want.fragment) {
+			t.Errorf("missing %s diagnostic (%q) in output:\n%s", want.analyzer, want.fragment, got)
+		}
+	}
+	if strings.Contains(got, "Suppressed") || strings.Contains(err.Error(), "5 issue") {
+		t.Errorf("the //vplint:ignore directive did not suppress the marked loop:\n%s", got)
+	}
+	if !strings.Contains(err.Error(), "4 issue(s) found") {
+		t.Errorf("expected exactly 4 issues, got: %v", err)
+	}
+}
+
+// TestOnlySubset checks -only restricts the suite.
+func TestOnlySubset(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run([]string{"-C", "testdata/src", "-only", "keyedlint", "./..."}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "1 issue(s) found") {
+		t.Fatalf("expected exactly the keyedlint issue, got err=%v\noutput:\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "detlint") {
+		t.Errorf("-only keyedlint still ran detlint:\n%s", out.String())
+	}
+}
+
+// TestListAnalyzers checks -list names all four analyzers.
+func TestListAnalyzers(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"detlint", "errlint", "keyedlint", "mutexlint"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package use trips errlint, keyedlint and mutexlint.
+package use
+
+import (
+	"sync"
+
+	"bad/internal/stats"
+)
+
+// Guarded carries a mutex.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Drop violates errlint: the stats error is discarded.
+func Drop() {
+	stats.Load("table") // errlint fires here
+}
+
+// Unkeyed violates keyedlint: positional configuration fields.
+func Unkeyed() stats.Config {
+	return stats.Config{16, 40} // keyedlint fires here
+}
+
+// Copy violates mutexlint: the receiver copies the mutex.
+func (g Guarded) Copy() int { return g.n } // mutexlint fires here

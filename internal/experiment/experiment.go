@@ -109,6 +109,12 @@ var registry = map[string]struct {
 	desc   string
 }{}
 
+// registered mirrors the registry's keys as a slice so that no caller ever
+// iterates the map itself: map iteration order is randomized per process,
+// and an ordering that leaks into a table or an -all run breaks the
+// determinism contract enforced by vplint's detlint.
+var registered []string
+
 func register(id, desc string, r Runner) {
 	if _, dup := registry[id]; dup {
 		panic("experiment: duplicate id " + id)
@@ -116,15 +122,13 @@ func register(id, desc string, r Runner) {
 	registry[id] = struct {
 		runner Runner
 		desc   string
-	}{r, desc}
+	}{runner: r, desc: desc}
+	registered = append(registered, id)
 }
 
 // IDs returns the registered experiment identifiers, sorted.
 func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
-		ids = append(ids, id)
-	}
+	ids := append([]string(nil), registered...)
 	sort.Strings(ids)
 	return ids
 }
@@ -150,7 +154,7 @@ func Run(id string, p Params) (*Table, error) {
 func (p Params) preloadAsync(seed int64) {
 	st := p.store()
 	names := p.workloads()
-	go st.Preload(names, seed, p.TraceLen) //nolint:errcheck
+	go st.Preload(names, seed, p.TraceLen) //vplint:ignore errlint any generation error is re-reported by the foreground Get
 }
 
 // RunSeeds executes the experiment once per seed and returns the

@@ -44,10 +44,15 @@ func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, erro
 	for _, n := range Fig5Taken {
 		t.Columns = append(t.Columns, takenLabel(n))
 	}
+	// Per-benchmark accuracy sums are recorded under the mutex but summed
+	// afterwards in presentation order: the workloads run concurrently, and
+	// float64 addition is not associative, so accumulating into one shared
+	// sum would make the rendered note vary with goroutine scheduling.
 	var mu sync.Mutex
-	var accSum, accN float64
+	accByName := make(map[string]float64, len(p.workloads()))
 	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
 		var cells []float64
+		var acc float64
 		for _, n := range Fig5Taken {
 			base, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), pipeline.DefaultConfig())
 			if err != nil {
@@ -60,17 +65,22 @@ func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, erro
 				return nil, err
 			}
 			cells = append(cells, pipeline.Speedup(base, vp))
-			mu.Lock()
-			accSum += vp.Fetch.BranchAccuracy()
-			accN++
-			mu.Unlock()
+			acc += vp.Fetch.BranchAccuracy()
 		}
+		mu.Lock()
+		accByName[name] = acc
+		mu.Unlock()
 		return cells, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.AppendAverage()
+	var accSum float64
+	for _, name := range p.workloads() {
+		accSum += accByName[name]
+	}
+	accN := float64(len(p.workloads()) * len(Fig5Taken))
 	t.AddNote("mean branch prediction accuracy across runs: %.1f%%", 100*accSum/accN)
 	return t, nil
 }
@@ -99,10 +109,14 @@ func Fig53(p Params) (*Table, error) {
 		Columns:   []string{"TC+2levelBTB", "TC+idealBTB"},
 		Unit:      "%",
 	}
+	// As in sequentialSpeedups: per-benchmark sums, combined in
+	// presentation order after the concurrent phase, keep the rendered note
+	// independent of goroutine scheduling.
 	var mu sync.Mutex
-	var hitSum, hitN float64
+	hitByName := make(map[string]float64, len(p.workloads()))
 	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
 		var cells []float64
+		var hits float64
 		for _, mk := range []branchMaker{twoLevelBTB, perfectBTB} {
 			base, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
 			if err != nil {
@@ -115,17 +129,22 @@ func Fig53(p Params) (*Table, error) {
 				return nil, err
 			}
 			cells = append(cells, pipeline.Speedup(base, vp))
-			mu.Lock()
-			hitSum += vp.Fetch.TCHitRate()
-			hitN++
-			mu.Unlock()
+			hits += vp.Fetch.TCHitRate()
 		}
+		mu.Lock()
+		hitByName[name] = hits
+		mu.Unlock()
 		return cells, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.AppendAverage()
+	var hitSum float64
+	for _, name := range p.workloads() {
+		hitSum += hitByName[name]
+	}
+	hitN := float64(2 * len(p.workloads()))
 	t.AddNote("mean trace-cache hit rate across runs: %.1f%%", 100*hitSum/hitN)
 	return t, nil
 }

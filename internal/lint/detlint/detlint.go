@@ -1,0 +1,167 @@
+// Package detlint enforces the simulator's determinism contract: the
+// paper's tables and figures must be bit-reproducible run to run, so the
+// simulation packages may not read wall-clock time, draw from the shared
+// math/rand source, or let Go's randomized map iteration order leak into
+// anything ordered (slices, table rows, rendered output).
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock reads (time.Now/Since), the package-global math/rand " +
+		"source, and map iteration whose body appends to a slice, writes table " +
+		"rows, or emits output, inside the simulation packages",
+	Run: run,
+}
+
+// restricted names the internal packages bound by the determinism
+// contract. The analyzer fires only in packages whose import path contains
+// an "internal" element and ends in one of these names; cmd/ and the
+// public facade are covered indirectly because everything they emit comes
+// from these packages.
+var restricted = map[string]bool{
+	"emu": true, "fetch": true, "pipeline": true, "predictor": true,
+	"experiment": true, "stats": true, "trace": true, "workload": true,
+	"ideal": true, "dfg": true, "btb": true, "core": true,
+}
+
+// Applies reports whether pkgPath is bound by the determinism contract.
+func Applies(pkgPath string) bool {
+	parts := strings.Split(pkgPath, "/")
+	if !restricted[parts[len(parts)-1]] {
+		return false
+	}
+	for _, p := range parts[:len(parts)-1] {
+		if p == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// randAllowed lists math/rand package-level functions that do not touch
+// the global source: constructors for explicitly seeded generators.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !Applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkSelector(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkSelector flags references to time.Now/time.Since and to any
+// package-level math/rand function that draws from the process-global
+// source.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulated time must come from the machine model", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the package-global source; use an explicitly seeded *rand.Rand", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `range` over a map whose body performs an
+// order-sensitive operation: appending to a slice, writing table rows or
+// notes, or emitting output. Map iteration order is randomized per run, so
+// each of these bakes nondeterministic ordering into a result. Order-free
+// bodies (summing, counting, writing another map) are not flagged; a
+// deliberately order-insensitive append can be suppressed with a
+// `//vplint:ignore detlint <reason>` directive.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if what := orderSensitive(pass, call); what != "" {
+			pass.Reportf(rng.Pos(), "map iteration order is randomized, but this loop %s; iterate a sorted key slice instead", what)
+			return false
+		}
+		return true
+	})
+}
+
+// tableMethods are stats.Table-style mutators that give rows and notes
+// their presentation order.
+var tableMethods = map[string]bool{
+	"AddRow": true, "AddNote": true, "AddColumn": true, "AppendAverage": true,
+}
+
+// writerMethods order bytes in an output stream or buffer.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// orderSensitive classifies a call inside a map-range body; it returns a
+// description of the violation, or "" if the call is order-free.
+func orderSensitive(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				return "appends to a slice"
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() == nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+					(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+					return "emits output via fmt." + fn.Name()
+				}
+				return ""
+			}
+			if tableMethods[fn.Name()] {
+				return "writes table rows or notes via " + fn.Name()
+			}
+			if writerMethods[fn.Name()] {
+				return "writes to an output stream via " + fn.Name()
+			}
+		}
+	}
+	return ""
+}

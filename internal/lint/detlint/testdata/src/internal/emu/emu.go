@@ -1,0 +1,72 @@
+// Package emu is a detlint fixture: its import path ends in a restricted
+// simulator package name, so the determinism contract applies.
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()            // want `time\.Now reads the wall clock`
+	return time.Since(start)       // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	rand.Seed(42)                  // want `math/rand\.Seed draws from the package-global source`
+	return rand.Intn(8)            // want `math/rand\.Intn draws from the package-global source`
+}
+
+func seededRand() int {
+	rng := rand.New(rand.NewSource(1)) // constructors are allowed
+	return rng.Intn(8)                 // methods on a seeded *rand.Rand are allowed
+}
+
+func mapAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized, but this loop appends to a slice`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapEmit(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized, but this loop emits output via fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+type table struct{}
+
+func (*table) AddRow(label string, cells ...float64) {}
+
+func mapRows(m map[string]float64, t *table) {
+	for k, v := range m { // want `map iteration order is randomized, but this loop writes table rows or notes via AddRow`
+		t.AddRow(k, v)
+	}
+}
+
+func mapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-free reduction: not flagged
+		total += v
+	}
+	return total
+}
+
+func mapInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // writing another map is order-free: not flagged
+		out[v] = k
+	}
+	return out
+}
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs { // ranging a slice is ordered: not flagged
+		out = append(out, x)
+	}
+	return out
+}

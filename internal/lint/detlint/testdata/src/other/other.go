@@ -1,0 +1,19 @@
+// Package other is outside the restricted simulator packages (no
+// "internal" path element), so detlint must stay silent here even for
+// constructs it would flag in internal/emu.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Unrestricted(m map[string]int) []string {
+	_ = time.Now()
+	_ = rand.Intn(8)
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

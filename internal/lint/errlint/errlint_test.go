@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analysistest.Run(t, "testdata", errlint.Analyzer, "./...")
+}

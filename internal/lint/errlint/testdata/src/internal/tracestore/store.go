@@ -1,0 +1,5 @@
+// Package tracestore mimics the real trace store's error-returning API.
+package tracestore
+
+// Preload mimics the concurrent cache warmer.
+func Preload(names []string) error { return nil }

@@ -1,0 +1,29 @@
+// Package use calls into the fixture stats/tracestore packages, dropping
+// some of their errors.
+package use
+
+import (
+	"fix/internal/stats"
+	"fix/internal/tracestore"
+)
+
+func Bad(t *stats.Table) {
+	t.Render()                       // want `error returned by stats\.Render is discarded`
+	stats.AverageTables(nil)         // want `error returned by stats\.AverageTables is discarded`
+	_, _ = stats.AverageTables(nil)  // want `error returned by stats\.AverageTables is assigned to the blank identifier`
+	go tracestore.Preload(nil)       // want `error returned by tracestore\.Preload is unobservable in a go statement`
+	defer tracestore.Preload(nil)    // want `error returned by tracestore\.Preload is discarded by defer`
+}
+
+func Good(t *stats.Table) error {
+	t.AddRow("go") // no error result: fine
+	if err := t.Render(); err != nil {
+		return err
+	}
+	avg, err := stats.AverageTables(nil)
+	if err != nil {
+		return err
+	}
+	_ = avg // discarding the value is fine; only the error is load-bearing
+	return tracestore.Preload(nil)
+}

@@ -1,0 +1,66 @@
+// Package keyedlint requires keyed composite literals for configuration
+// struct types. A machine configuration like pipeline.Config or
+// fetch.TCConfig is a bag of same-typed integers (widths, window sizes,
+// penalties); an unkeyed literal binds them by position, so reordering the
+// struct's fields silently swaps machine parameters and every regenerated
+// table changes meaning without a compile error.
+package keyedlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+)
+
+// Analyzer is the keyed-config-literal check.
+var Analyzer = &analysis.Analyzer{
+	Name: "keyedlint",
+	Doc: "require keyed fields in composite literals of exported configuration " +
+		"struct types (names ending in \"Config\", plus experiment Params)",
+	Run: run,
+}
+
+// configType reports whether a composite literal of the named struct type
+// must use keyed fields: exported, and named like a configuration.
+func configType(name string) bool {
+	if name == "" || !token.IsExported(name) {
+		return false
+	}
+	return strings.HasSuffix(name, "Config") || name == "Params"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[lit]
+		if !ok {
+			return true
+		}
+		named, ok := types.Unalias(tv.Type).(*types.Named)
+		if !ok {
+			return true
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			return true
+		}
+		if !configType(named.Obj().Name()) {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+				pass.Reportf(lit.Pos(),
+					"unkeyed fields in composite literal of %s: field order encodes machine parameters, use keyed fields",
+					named.Obj().Name())
+				break
+			}
+		}
+		return true
+	})
+	return nil, nil
+}

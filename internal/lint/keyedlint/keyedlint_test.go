@@ -1,0 +1,12 @@
+package keyedlint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/keyedlint"
+)
+
+func TestKeyedlint(t *testing.T) {
+	analysistest.Run(t, "testdata", keyedlint.Analyzer, "./...")
+}

@@ -1,0 +1,48 @@
+// Package keyed exercises the keyed-config-literal rule.
+package keyed
+
+// Config mimics a machine configuration: a bag of same-typed knobs where
+// positional literals silently swap parameters if fields are reordered.
+type Config struct {
+	FetchWidth int
+	WindowSize int
+}
+
+// TCConfig mimics the trace-cache configuration.
+type TCConfig struct {
+	Entries      int
+	MaxLineInsts int
+}
+
+// Params mimics experiment.Params, which the rule names explicitly.
+type Params struct {
+	Seed     int64
+	TraceLen int
+}
+
+// point is unexported and not configuration; positional fields are fine.
+type point struct{ x, y int }
+
+// Options does not match the naming rule.
+type Options struct{ A, B int }
+
+func Bad() []any {
+	return []any{
+		Config{4, 40},      // want `unkeyed fields in composite literal of Config`
+		TCConfig{64, 32},   // want `unkeyed fields in composite literal of TCConfig`
+		Params{1, 200000},  // want `unkeyed fields in composite literal of Params`
+		&Config{8, 40},     // want `unkeyed fields in composite literal of Config`
+	}
+}
+
+func Good() []any {
+	return []any{
+		Config{FetchWidth: 4, WindowSize: 40},
+		Config{},
+		TCConfig{Entries: 64},
+		point{1, 2},
+		Options{1, 2},
+		[]int{1, 2, 3},
+		map[string]int{"a": 1},
+	}
+}

@@ -1,0 +1,155 @@
+// Package lint assembles the vplint analyzer suite and runs it over
+// loaded packages. It is the engine behind cmd/vplint and `make lint`.
+//
+// # Suppressing a false positive
+//
+// A diagnostic can be silenced with a directive comment naming the
+// analyzer and giving a reason:
+//
+//	go st.Preload(names, seed, n) //vplint:ignore errlint re-reported by the foreground Get
+//
+// The directive applies to diagnostics on its own line or on the line
+// immediately below it (so it can sit on its own line above a long
+// statement). `//vplint:ignore all <reason>` silences every analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/detlint"
+	"valuepred/internal/lint/errlint"
+	"valuepred/internal/lint/keyedlint"
+	"valuepred/internal/lint/loader"
+	"valuepred/internal/lint/mutexlint"
+)
+
+// Analyzers returns the full vplint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detlint.Analyzer,
+		errlint.Analyzer,
+		keyedlint.Analyzer,
+		mutexlint.Analyzer,
+	}
+}
+
+// Diagnostic is one resolved finding.
+type Diagnostic struct {
+	// Analyzer is the name of the check that fired.
+	Analyzer string
+	// Pos is the resolved source position.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run loads the packages matched by patterns relative to dir, applies the
+// given analyzers, filters out suppressed findings and returns the rest
+// sorted by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.matches(a.Name, pos) {
+					return
+				}
+				diags = append(diags, Diagnostic{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppression records one //vplint:ignore directive.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil means "all"
+}
+
+type suppressionSet []suppression
+
+const directive = "//vplint:ignore"
+
+// suppressions collects the ignore directives of every file in pkg.
+func suppressions(pkg *loader.Package) suppressionSet {
+	var set suppressionSet
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				s := suppression{
+					file: pkg.Fset.Position(c.Pos()).Filename,
+					line: pkg.Fset.Position(c.Pos()).Line,
+				}
+				if fields[0] != "all" {
+					s.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						s.analyzers[name] = true
+					}
+				}
+				set = append(set, s)
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (set suppressionSet) matches(name string, pos token.Position) bool {
+	for _, s := range set {
+		if s.file != pos.Filename {
+			continue
+		}
+		if s.line != pos.Line && s.line != pos.Line-1 {
+			continue
+		}
+		if s.analyzers == nil || s.analyzers[name] {
+			return true
+		}
+	}
+	return false
+}

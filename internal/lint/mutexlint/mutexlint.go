@@ -1,0 +1,196 @@
+// Package mutexlint flags values of lock-carrying types — anything that
+// transitively contains a sync.Mutex, sync.Once, sync.WaitGroup or a
+// sync/atomic value type — being copied: passed or returned by value,
+// assigned from an existing value, copied by a range clause, or handed to
+// a call by value. The trace store's concurrency safety (singleflight
+// dedup, LRU eviction) depends on every goroutine seeing the same mutex
+// word; a copied lock guards nothing.
+package mutexlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"valuepred/internal/lint/analysis"
+)
+
+// Analyzer is the lock-copy check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexlint",
+	Doc: "flag by-value copies of types containing sync.Mutex, sync.RWMutex, " +
+		"sync.Once, sync.WaitGroup, sync.Cond, sync.Map, sync.Pool or " +
+		"sync/atomic value types",
+	Run: run,
+}
+
+// syncTypes and atomicTypes are the primitive lock-carrying types.
+var syncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true, "WaitGroup": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+var atomicTypes = map[string]bool{
+	"Value": true, "Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true, "Pointer": true,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	memo map[types.Type]bool
+}
+
+// containsLock reports whether a value of type t embeds a lock by value,
+// directly or through struct fields and array elements. Pointers, slices,
+// maps and channels reference their payload, so they copy safely.
+func (c *checker) containsLock(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // break cycles in recursive types
+	result := false
+	switch u := t.(type) {
+	case *types.Alias:
+		result = c.containsLock(types.Unalias(t))
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				result = syncTypes[obj.Name()]
+			case "sync/atomic":
+				result = atomicTypes[obj.Name()]
+			}
+		}
+		if !result {
+			result = c.containsLock(u.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.containsLock(u.Elem())
+	}
+	c.memo[t] = result
+	return result
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, memo: make(map[types.Type]bool)}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				c.checkFieldList(n.Recv, "receiver")
+			}
+			c.checkFuncType(n.Type)
+		case *ast.FuncLit:
+			c.checkFuncType(n.Type)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.RangeStmt:
+			c.checkRange(n)
+		case *ast.CallExpr:
+			c.checkCallArgs(n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func (c *checker) checkFuncType(ft *ast.FuncType) {
+	c.checkFieldList(ft.Params, "parameter")
+	if ft.Results != nil {
+		c.checkFieldList(ft.Results, "result")
+	}
+}
+
+func (c *checker) checkFieldList(fl *ast.FieldList, kind string) {
+	for _, f := range fl.List {
+		tv, ok := c.pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if c.containsLock(tv.Type) {
+			c.pass.Reportf(f.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, tv.Type)
+		}
+	}
+}
+
+// copiesExisting reports whether evaluating e copies an already-live
+// value. Composite literals, calls (including conversions of untyped
+// values) and function literals construct fresh values whose copy has not
+// yet been shared, so they are allowed, matching cmd/vet's copylocks.
+func copiesExisting(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return false
+	}
+	return true
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple form: the RHS call constructs the values
+	}
+	for i, rhs := range as.Rhs {
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue // assigning to blank discards the value; nothing is copied
+		}
+		if !copiesExisting(rhs) {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[rhs]
+		if !ok {
+			continue
+		}
+		if c.containsLock(tv.Type) {
+			c.pass.Reportf(rhs.Pos(), "assignment copies a value of %s, which contains a lock; use a pointer", tv.Type)
+		}
+	}
+}
+
+func (c *checker) checkRange(rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := c.typeOf(rng.Value)
+	if t != nil && c.containsLock(t) {
+		c.pass.Reportf(rng.Value.Pos(), "range clause copies a value of %s, which contains a lock; iterate by index or over pointers", t)
+	}
+}
+
+// typeOf resolves an expression's type, falling back to the definition or
+// use of an identifier — range variables introduced by `:=` are recorded
+// in Defs rather than in the expression-type map.
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := c.pass.TypesInfo.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+		if obj, ok := c.pass.TypesInfo.Uses[id]; ok {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkCallArgs(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if !copiesExisting(arg) {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok {
+			continue
+		}
+		if c.containsLock(tv.Type) {
+			c.pass.Reportf(arg.Pos(), "call passes a value of %s by value, copying its lock; pass a pointer", tv.Type)
+		}
+	}
+}

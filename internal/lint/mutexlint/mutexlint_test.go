@@ -1,0 +1,12 @@
+package mutexlint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/mutexlint"
+)
+
+func TestMutexlint(t *testing.T) {
+	analysistest.Run(t, "testdata", mutexlint.Analyzer, "./...")
+}

@@ -1,0 +1,56 @@
+// Package locks exercises the lock-copy rule.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store mimics the trace store: a mutex-guarded cache.
+type Store struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// Counter embeds a lock transitively through a struct field.
+type Counter struct {
+	inner Store
+	hits  atomic.Uint64
+}
+
+// Plain carries no locks and copies freely.
+type Plain struct{ n int }
+
+func byValueParam(s Store) {} // want `parameter passes fix/locks\.Store by value`
+
+func byValueResult() (s Store) { return } // want `result passes fix/locks\.Store by value`
+
+// Snapshot has a by-value receiver of a lock-carrying type.
+func (s Store) Snapshot() int { return s.entries } // want `receiver passes fix/locks\.Store by value`
+
+func copies(s *Store, c Counter) { // want `parameter passes fix/locks\.Counter by value`
+	cp := *s // want `assignment copies a value of fix/locks\.Store`
+	_ = cp
+	alias := c.inner // want `assignment copies a value of fix/locks\.Store`
+	_ = alias
+	byValueParam(*s) // want `call passes a value of fix/locks\.Store by value`
+
+	var arr [2]Store
+	for _, st := range arr { // want `range clause copies a value of fix/locks\.Store`
+		_ = st
+	}
+}
+
+func allowed() *Store {
+	s := &Store{}        // pointer: fine
+	fresh := Store{}     // composite literal constructs a fresh value: fine
+	_ = fresh
+	p := Plain{n: 1}     // no locks anywhere: fine
+	q := p               // copying a lock-free struct: fine
+	_ = q
+	var ptrs []*Store
+	for _, sp := range ptrs { // iterating pointers: fine
+		_ = sp
+	}
+	return s
+}
