@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-tracestore clean
+.PHONY: check build vet lint test race bench bench-smoke bench-tracestore clean
 
 # check is the CI gate: static analysis (go vet + the custom vplint
 # suite), a full build, and the test suite under the race detector (the
@@ -26,9 +26,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates every table/figure of the paper (see EXPERIMENTS.md).
+# bench runs every benchmark and writes the parsed report — ns/op plus the
+# simulated-instructions-per-second metric each benchmark reports — to
+# BENCH_pr3.json via cmd/benchjson. The raw `go test -bench` text still
+# reaches the terminal.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+
+# bench-smoke is the CI variant: a single iteration of the core simulator
+# benchmarks, piped through benchjson so the parser is exercised end to end,
+# without committing the (machine-dependent) numbers anywhere.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline$$|BenchmarkTraceStore$$|BenchmarkIdealMachine$$' \
+		-benchtime=1x . | $(GO) run ./cmd/benchjson -o /dev/null
 
 # bench-tracestore measures the trace cache's hit vs miss path cost.
 bench-tracestore:

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// report. It reads the benchmark text from stdin, echoes it unchanged to
+// stdout (so it slots into a pipe without hiding the familiar output), and
+// writes the parsed report to the file named by -o.
+//
+// Each benchmark line
+//
+//	BenchmarkPipeline-8   3   387654321 ns/op   25.8 Minst/s   120 B/op
+//
+// becomes an entry with the benchmark name (CPU suffix stripped), the
+// iteration count, ns/op pulled out as the headline number, and every other
+// "value unit" pair collected into a metrics map — which is how the
+// simulated-instructions-per-second metric (Minst/s, emitted via
+// b.ReportMetric) rides along. encoding/json marshals map keys sorted, and
+// entries keep input order, so the report is deterministic for a given
+// benchmark run.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem | go run ./cmd/benchjson -o BENCH_pr3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full bench report written to the -o file.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, echo io.Writer, outPath string) error {
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: []Bench{},
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = echo.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// parseLine parses one `go test -bench` result line. Lines that are not
+// benchmark results (headers, PASS, ok, unit output) return ok=false.
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: trimCPUSuffix(fields[0]), Runs: runs}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			seenNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	if !seenNs {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+// trimCPUSuffix drops the trailing "-<gomaxprocs>" so reports compare
+// across machines with different core counts.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

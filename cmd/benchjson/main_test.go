@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: valuepred
+cpu: AMD EPYC 7B13
+BenchmarkPipeline-8          	       3	 387654321 ns/op	        25.80 Minst/s	     120 B/op	       2 allocs/op
+BenchmarkTraceStore-16       	    1000	   1234567 ns/op	        81.00 Minst/s
+BenchmarkStridePredictor     	 5000000	       251.0 ns/op
+PASS
+ok  	valuepred	12.345s
+`
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkPipeline-8   3   387654321 ns/op   25.8 Minst/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkPipeline" || b.Runs != 3 || b.NsPerOp != 387654321 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["Minst/s"] != 25.8 {
+		t.Errorf("metrics %v", b.Metrics)
+	}
+	for _, junk := range []string{
+		"goos: linux", "PASS", "ok  \tvaluepred\t12.3s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkNoNs-8 3 12 B/op",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("junk line parsed: %q", junk)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var echo strings.Builder
+	if err := run(strings.NewReader(sample), &echo, path); err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Errorf("input not echoed verbatim:\n%s", echo.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkPipeline" || rep.Benchmarks[0].Metrics["Minst/s"] != 25.8 {
+		t.Errorf("first entry: %+v", rep.Benchmarks[0])
+	}
+	if rep.Benchmarks[2].Name != "BenchmarkStridePredictor" || rep.Benchmarks[2].Metrics != nil {
+		t.Errorf("third entry: %+v", rep.Benchmarks[2])
+	}
+	if rep.GOOS == "" || rep.GoVersion == "" {
+		t.Errorf("environment fields missing: %+v", rep)
+	}
+}
+
+func TestRunNoBenchmarks(t *testing.T) {
+	var echo strings.Builder
+	if err := run(strings.NewReader("PASS\nok\n"), &echo, ""); err == nil {
+		t.Error("empty input accepted")
+	}
+}

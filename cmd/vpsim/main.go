@@ -5,18 +5,30 @@
 //	vpsim -list
 //	vpsim -experiment fig3.1 [-seed 1] [-len 200000] [-workloads go,gcc] [-csv] [-o out.txt]
 //	vpsim -all [-preload] [-cachestats]
+//	vpsim -experiment fig5.1 -metrics -trace-out run.json -manifest run-manifest.json
 //
 // Traces are served from a process-wide cache, so -all and -seeds N emulate
 // each (workload, seed) pair only once. -preload warms the cache for every
 // selected workload and seed up front (one emulator per goroutine) before
 // the first experiment runs; -cachestats reports the cache's hit/miss/
 // evict/dedup counters on stderr at exit.
+//
+// Observability: -metrics dumps the full metrics snapshot on stderr at
+// exit; -trace-out writes a Chrome trace_event JSON file (open it in
+// chrome://tracing or https://ui.perfetto.dev) with one track per simulated
+// run, sampled every -trace-sample cycles; -manifest writes a JSON run
+// manifest (configuration, wall time, metric snapshot); -pprof serves
+// net/http/pprof on the given address for live profiling. None of these
+// affect the simulation: the rendered tables are bit-identical with
+// observability on or off.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -34,19 +46,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("vpsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list      = fs.Bool("list", false, "list the available experiments and exit")
-		id        = fs.String("experiment", "", "experiment id to run (see -list)")
-		all       = fs.Bool("all", false, "run every experiment")
-		seed      = fs.Int64("seed", 1, "workload input seed")
-		seeds     = fs.Int("seeds", 1, "average the experiment over this many consecutive seeds")
-		traceLen  = fs.Int("len", 200_000, "dynamic instructions per benchmark")
-		workloads = fs.String("workloads", "", "comma-separated benchmark subset (default all)")
-		csv       = fs.Bool("csv", false, "emit CSV instead of a text table")
-		md        = fs.Bool("md", false, "emit a Markdown table")
-		chart     = fs.Bool("chart", false, "emit an ASCII bar chart")
-		outPath   = fs.String("o", "", "write output to a file instead of stdout")
-		preload   = fs.Bool("preload", false, "warm the trace cache for all selected workloads and seeds before running")
-		cacheStat = fs.Bool("cachestats", false, "report trace-cache counters on stderr at exit")
+		list        = fs.Bool("list", false, "list the available experiments and exit")
+		id          = fs.String("experiment", "", "experiment id to run (see -list)")
+		all         = fs.Bool("all", false, "run every experiment")
+		seed        = fs.Int64("seed", 1, "workload input seed")
+		seeds       = fs.Int("seeds", 1, "average the experiment over this many consecutive seeds")
+		traceLen    = fs.Int("len", 200_000, "dynamic instructions per benchmark")
+		workloads   = fs.String("workloads", "", "comma-separated benchmark subset (default all)")
+		csv         = fs.Bool("csv", false, "emit CSV instead of a text table")
+		md          = fs.Bool("md", false, "emit a Markdown table")
+		chart       = fs.Bool("chart", false, "emit an ASCII bar chart")
+		outPath     = fs.String("o", "", "write output to a file instead of stdout")
+		preload     = fs.Bool("preload", false, "warm the trace cache for all selected workloads and seeds before running")
+		cacheStat   = fs.Bool("cachestats", false, "report trace-cache counters on stderr at exit")
+		metrics     = fs.Bool("metrics", false, "dump the metrics snapshot on stderr at exit")
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+		traceSample = fs.Int("trace-sample", 64, "cycles between tracer counter samples (with -trace-out)")
+		manifestOut = fs.String("manifest", "", "write a JSON run manifest to this file")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +80,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("need -experiment <id>, -all or -list")
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(stderr, "vpsim: pprof:", err)
+			}
+		}()
+	}
+
+	manifest := valuepred.BeginManifest("vpsim")
+
 	p := valuepred.DefaultParams()
 	p.Seed = *seed
 	p.TraceLen = *traceLen
@@ -70,11 +98,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		p.Workloads = strings.Split(*workloads, ",")
 	}
 
+	// Any observability flag builds a registry; -cachestats is a formatter
+	// over the same registry snapshot (the store mirrors its counters there).
+	var reg *valuepred.MetricsRegistry
+	if *metrics || *cacheStat || *manifestOut != "" || *traceOut != "" {
+		reg = valuepred.NewMetricsRegistry()
+		valuepred.InstrumentTraceStore(reg)
+	}
+	var tracer *valuepred.Tracer
+	if *traceOut != "" {
+		tracer = valuepred.NewEventTracer(*traceSample)
+	}
+	p.Obs = valuepred.NewObsSink(reg, tracer)
+
 	if *cacheStat {
 		defer func() {
-			s := valuepred.TraceStoreMetrics()
+			snap := reg.Snapshot()
+			c := func(name string) uint64 { v, _ := snap.Counter(name); return v }
+			g := func(name string) int64 { v, _ := snap.Gauge(name); return v }
 			fmt.Fprintf(stderr, "trace cache: %d hits (%d by prefix), %d misses, %d dedups, %d evictions, %d records in %d entries\n",
-				s.Hits, s.PrefixHits, s.Misses, s.Dedups, s.Evictions, s.Records, s.Entries)
+				c("tracestore.hits"), c("tracestore.prefix_hits"), c("tracestore.misses"),
+				c("tracestore.dedups"), c("tracestore.evictions"),
+				g("tracestore.records"), g("tracestore.entries"))
 		}()
 	}
 	if *preload {
@@ -131,6 +176,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 			err = t.Render(out)
 		}
 		if err != nil {
+			return err
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *manifestOut != "" {
+		manifest.Experiments = ids
+		manifest.Workloads = p.Workloads
+		manifest.Seed = *seed
+		manifest.Seeds = *seeds
+		manifest.TraceLen = *traceLen
+		manifest.Finish(reg)
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			return err
+		}
+		if err := manifest.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *metrics {
+		if err := reg.Snapshot().WriteText(stderr); err != nil {
 			return err
 		}
 	}

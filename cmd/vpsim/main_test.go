@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"valuepred"
 )
 
 func TestList(t *testing.T) {
@@ -95,6 +99,118 @@ func TestPreloadAndCacheStats(t *testing.T) {
 	if !strings.Contains(stats, "trace cache:") ||
 		!strings.Contains(stats, "hits") || !strings.Contains(stats, "misses") {
 		t.Errorf("cache stats missing from stderr:\n%s", stats)
+	}
+}
+
+// TestObservabilityFlags exercises -metrics, -trace-out and -manifest on a
+// small run: the metrics snapshot reaches stderr, the trace file is valid
+// schema-checked Chrome trace_event JSON, and the manifest round-trips
+// through encoding/json byte-identically.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	maniPath := filepath.Join(dir, "manifest.json")
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "fig5.1", "-len", "4000", "-workloads", "go",
+		"-metrics", "-trace-out", tracePath, "-trace-sample", "16", "-manifest", maniPath},
+		&out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter sim.cycles ", "counter vp.useful ", "counter vp.shadowed ",
+		"histogram pipeline.window.occupancy "} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, errb.String())
+		}
+	}
+
+	// Chrome trace_event schema: every event needs a name, a known phase,
+	// pid/tid, and (except metadata) a timestamp.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *float64       `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var sawTrack bool
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == "" || ev.Pid == 0 || ev.Tid == 0 || ev.Args == nil {
+			t.Errorf("event %d incomplete: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "C", "I":
+			if ev.TS == nil {
+				t.Errorf("event %d (%s) has no timestamp", i, ev.Name)
+			}
+		case "M":
+			if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "fig5.1/go/") {
+				sawTrack = true
+			}
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if !sawTrack {
+		t.Error("no fig5.1/go/... track in the trace")
+	}
+
+	// Manifest: parses, carries the run's configuration, and round-trips.
+	first, err := os.ReadFile(maniPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m valuepred.Manifest
+	if err := json.Unmarshal(first, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Tool != "vpsim" || len(m.Experiments) != 1 || m.Experiments[0] != "fig5.1" ||
+		m.TraceLen != 4000 {
+		t.Errorf("manifest fields: %+v", m)
+	}
+	if v, ok := m.Metrics.Counter("sim.cycles"); !ok || v == 0 {
+		t.Errorf("manifest metrics missing sim.cycles: %d, %v", v, ok)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf.Bytes()) {
+		t.Errorf("manifest does not round-trip byte-identically:\n%s\n----\n%s", first, buf.Bytes())
+	}
+}
+
+// TestObservabilityDoesNotSteer renders the same experiment with and
+// without the observability flags and expects byte-identical tables:
+// metrics observe, they never steer.
+func TestObservabilityDoesNotSteer(t *testing.T) {
+	dir := t.TempDir()
+	render := func(extra ...string) string {
+		var out, errb strings.Builder
+		args := append([]string{"-experiment", "fig5.3", "-len", "4000", "-workloads", "li"}, extra...)
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	plain := render()
+	observed := render("-metrics", "-trace-out", filepath.Join(dir, "t.json"),
+		"-manifest", filepath.Join(dir, "m.json"), "-cachestats")
+	if plain != observed {
+		t.Errorf("observability changed the table:\n%s\n----\n%s", plain, observed)
 	}
 }
 

@@ -8,8 +8,8 @@
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
 	"valuepred"
 	"valuepred/internal/asm"
@@ -60,20 +60,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("assembled %d instructions\n", len(prog.Insts))
 
 	// Execute 100k instructions and collect the trace.
 	recs := emu.New(prog).Run(100_000)
-	fmt.Println("trace:", valuepred.Summarize(recs))
+	sum := valuepred.Summarize(recs)
 
 	// The DSL's trace records are exactly the library's Rec type, so the
 	// whole analysis stack applies.
 	acc := valuepred.EvaluatePredictor(valuepred.NewStridePredictor(), recs)
-	fmt.Println("stride predictor:", acc)
 	a := valuepred.AnalyzeDID(recs, false)
-	fmt.Printf("avg DID %.1f, predictable with DID>=4: %.0f%%\n",
-		a.AvgDID(), 100*a.FracPredictableLong())
 
+	// Every float-valued result flows through the shared stats.Table
+	// renderer (fixed %.1f cells), so the example's output is stable
+	// rather than depending on fmt's shortest-float formatting.
+	t := &valuepred.Table{
+		Title:     "custom workload: saxpy — value prediction on the ideal machine",
+		RowHeader: "benchmark",
+		Columns:   []string{"BW=4", "BW=16", "BW=40"},
+		Unit:      "%",
+	}
+	var gains []float64
 	for _, width := range []int{4, 16, 40} {
 		base, err := valuepred.RunIdeal(recs, valuepred.NewIdealConfig(width))
 		if err != nil {
@@ -85,7 +91,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("ideal machine, width %2d: value prediction gains %5.1f%%\n",
-			width, valuepred.IdealSpeedup(base, vp))
+		gains = append(gains, valuepred.IdealSpeedup(base, vp))
+	}
+	t.AddRow("saxpy", gains...)
+	t.AddNote("assembled %d static instructions; trace: %d insts, %d loads, %d stores",
+		len(prog.Insts), sum.Insts, sum.Loads, sum.Stores)
+	t.AddNote("stride predictor: hit %.1f%%, coverage %.1f%%",
+		100*acc.HitRate(), 100*acc.Coverage())
+	t.AddNote("avg DID %.1f, predictable with DID>=4: %.0f%%",
+		a.AvgDID(), 100*a.FracPredictableLong())
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -16,14 +16,29 @@ func main() {
 	workloads := []string{"m88ksim", "compress95", "vortex"}
 	limits := []int{1, 2, 3, 4, -1}
 
+	// Speedups land in a stats.Table and render through its fixed-precision
+	// formatter, keeping the example's output stable rather than depending
+	// on fmt's shortest-float formatting.
+	columns := make([]string, len(limits))
+	for i, n := range limits {
+		columns[i] = fmt.Sprintf("n=%d", n)
+		if n < 0 {
+			columns[i] = "unl"
+		}
+	}
 	for _, mkName := range []string{"ideal BTB", "2-level BTB"} {
-		fmt.Printf("== %s ==\n", mkName)
+		t := &valuepred.Table{
+			Title:     "VP speedup vs taken branches fetched per cycle — " + mkName,
+			RowHeader: "benchmark",
+			Columns:   columns,
+			Unit:      "%",
+		}
 		for _, name := range workloads {
 			recs, err := valuepred.Trace(name, 1, 120_000)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-11s", name)
+			cells := make([]float64, 0, len(limits))
 			for _, n := range limits {
 				bp := valuepred.NewPerfectBTB()
 				if mkName != "ideal BTB" {
@@ -45,14 +60,15 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				label := fmt.Sprintf("n=%d", n)
-				if n < 0 {
-					label = "unl"
-				}
-				fmt.Printf("  %s:%6.1f%%", label, valuepred.MachineSpeedup(base, vp))
+				cells = append(cells, valuepred.MachineSpeedup(base, vp))
 			}
-			fmt.Println()
+			t.AddRow(name, cells...)
 		}
+		t.AppendAverage()
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
 	}
 
 	// The full figures, through the experiment runner:

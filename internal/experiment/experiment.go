@@ -8,8 +8,11 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
+	"valuepred/internal/obs"
+	"valuepred/internal/predictor"
 	"valuepred/internal/stats"
 	"valuepred/internal/trace"
 	"valuepred/internal/tracestore"
@@ -30,6 +33,11 @@ type Params struct {
 	// process-wide tracestore.Shared()). Mainly for tests that need an
 	// isolated cache with fresh counters.
 	Store *tracestore.Store
+	// Obs, when non-nil, receives metrics and cycle-level trace events from
+	// every simulated run. Each (figure, benchmark, configuration) run gets
+	// its own tracer track named like "fig5.1/gcc/n=4/vp". Observability is
+	// write-only: tables are bit-identical with Obs set or nil.
+	Obs *obs.Sink
 }
 
 // DefaultParams returns the parameters used by the benchmark harness.
@@ -62,6 +70,22 @@ func (p Params) store() *tracestore.Store {
 		return p.Store
 	}
 	return tracestore.Shared()
+}
+
+// track derives the observability sink for one simulated run, naming its
+// tracer track by joining parts with "/" (e.g. "fig5.1/gcc/n=4/vp").
+// Returns nil — the fully disabled sink — when observability is off.
+func (p Params) track(parts ...string) *obs.Sink {
+	if p.Obs == nil {
+		return nil
+	}
+	return p.Obs.Track(strings.Join(parts, "/"))
+}
+
+// instrument wraps pred with the registry's predictor counters when
+// observability is enabled; otherwise pred is returned untouched.
+func (p Params) instrument(pred predictor.Predictor) predictor.Predictor {
+	return predictor.Instrument(pred, p.Obs.Registry())
 }
 
 // traces fetches the dynamic trace of every selected workload through the

@@ -40,12 +40,16 @@ func Fig31(p Params) (*Table, error) {
 	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
 		var cells []float64
 		for _, w := range Fig31Widths {
-			base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(w))
+			wl := fmt.Sprintf("BW=%d", w)
+			baseCfg := ideal.DefaultConfig(w)
+			baseCfg.Obs = p.track("fig3.1", name, wl, "base")
+			base, err := ideal.Run(trace.NewSliceSource(recs), baseCfg)
 			if err != nil {
 				return nil, err
 			}
 			cfg := ideal.DefaultConfig(w)
-			cfg.Predictor = predictor.NewClassifiedStride()
+			cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+			cfg.Obs = p.track("fig3.1", name, wl, "vp")
 			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
 			if err != nil {
 				return nil, err

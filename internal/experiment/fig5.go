@@ -38,8 +38,9 @@ func perfectBTB() btb.Predictor  { return btb.NewPerfect() }
 func twoLevelBTB() btb.Predictor { return btb.NewTwoLevel(btb.DefaultTwoLevelConfig()) }
 
 // sequentialSpeedups runs the Section 5 machine over every workload and
-// taken-branch limit, with and without value prediction.
-func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, error) {
+// taken-branch limit, with and without value prediction. id labels the
+// figure's observability tracks.
+func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, error) {
 	t := &Table{Title: title, RowHeader: "benchmark", Unit: "%"}
 	for _, n := range Fig5Taken {
 		t.Columns = append(t.Columns, takenLabel(n))
@@ -54,12 +55,15 @@ func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, erro
 		var cells []float64
 		var acc float64
 		for _, n := range Fig5Taken {
-			base, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), pipeline.DefaultConfig())
+			baseCfg := pipeline.DefaultConfig()
+			baseCfg.Obs = p.track(id, name, takenLabel(n), "base")
+			base, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), baseCfg)
 			if err != nil {
 				return nil, err
 			}
 			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = predictor.NewClassifiedStride()
+			cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+			cfg.Obs = p.track(id, name, takenLabel(n), "vp")
 			vp, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
 			if err != nil {
 				return nil, err
@@ -88,14 +92,14 @@ func sequentialSpeedups(p Params, title string, mkBTB branchMaker) (*Table, erro
 // Fig51 reproduces Figure 5.1: the realistic machine with a perfect branch
 // predictor.
 func Fig51(p Params) (*Table, error) {
-	return sequentialSpeedups(p,
+	return sequentialSpeedups(p, "fig5.1",
 		"Figure 5.1 — value-prediction speedup vs max taken branches/cycle (ideal BTB)",
 		perfectBTB)
 }
 
 // Fig52 reproduces Figure 5.2: the same sweep with the 2-level PAp BTB.
 func Fig52(p Params) (*Table, error) {
-	return sequentialSpeedups(p,
+	return sequentialSpeedups(p, "fig5.2",
 		"Figure 5.2 — value-prediction speedup vs max taken branches/cycle (2-level BTB)",
 		twoLevelBTB)
 }
@@ -117,13 +121,17 @@ func Fig53(p Params) (*Table, error) {
 	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
 		var cells []float64
 		var hits float64
-		for _, mk := range []branchMaker{twoLevelBTB, perfectBTB} {
-			base, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		for bi, mk := range []branchMaker{twoLevelBTB, perfectBTB} {
+			btbLabel := []string{"2levelBTB", "idealBTB"}[bi]
+			baseCfg := pipeline.DefaultConfig()
+			baseCfg.Obs = p.track("fig5.3", name, btbLabel, "base")
+			base, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), baseCfg)
 			if err != nil {
 				return nil, err
 			}
 			cfg := pipeline.DefaultConfig()
 			cfg.Network = core.MustNew(core.DefaultConfig())
+			cfg.Obs = p.track("fig5.3", name, btbLabel, "vp")
 			vp, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
 			if err != nil {
 				return nil, err
@@ -164,13 +172,16 @@ func Sec4(p Params) (*Table, error) {
 	}
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		baseCfg := pipeline.DefaultConfig()
+		baseCfg.Obs = p.track("sec4", name, "base")
+		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), baseCfg)
 		if err != nil {
 			return nil, err
 		}
 		net := core.MustNew(core.DefaultConfig())
 		cfg := pipeline.DefaultConfig()
 		cfg.Network = net
+		cfg.Obs = p.track("sec4", name, "vp")
 		vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
 		if err != nil {
 			return nil, err

@@ -36,9 +36,12 @@ func DiagStalls(p Params) (*Table, error) {
 		recs := traces[name]
 		run := func(vp bool) (pipeline.Result, error) {
 			cfg := pipeline.DefaultConfig()
+			variant := "base"
 			if vp {
-				cfg.Predictor = predictor.NewClassifiedStride()
+				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+				variant = "vp"
 			}
+			cfg.Obs = p.track("diag.stalls", name, variant)
 			return pipeline.Run(fetch.NewSequential(recs, twoLevelBTB(), 4), cfg)
 		}
 		base, err := run(false)

@@ -2,6 +2,7 @@ package fetch
 
 import (
 	"valuepred/internal/btb"
+	"valuepred/internal/obs"
 	"valuepred/internal/trace"
 )
 
@@ -29,6 +30,7 @@ type CollapsingBuffer struct {
 	c     ctrl
 	cfg   CBConfig
 	stats Stats
+	obs   *obs.Sink
 }
 
 // NewCollapsingBuffer returns a collapsing-buffer engine over recs.
@@ -109,6 +111,9 @@ func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Insts += uint64(len(g.Recs))
 	e.stats.CoreInsts += uint64(len(g.Recs))
+	if e.obs != nil {
+		e.obs.FetchGroup(len(g.Recs), false, g.Mispredict)
+	}
 	return g, true
 }
 

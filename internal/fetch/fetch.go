@@ -13,6 +13,7 @@ package fetch
 import (
 	"valuepred/internal/btb"
 	"valuepred/internal/isa"
+	"valuepred/internal/obs"
 	"valuepred/internal/trace"
 )
 
@@ -170,6 +171,7 @@ type Sequential struct {
 	c        ctrl
 	maxTaken int // < 0 means unlimited
 	stats    Stats
+	obs      *obs.Sink
 }
 
 // NewSequential returns a sequential fetch engine over recs. maxTaken < 0
@@ -219,6 +221,9 @@ func (e *Sequential) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Insts += uint64(len(g.Recs))
 	e.stats.CoreInsts += uint64(len(g.Recs))
+	if e.obs != nil {
+		e.obs.FetchGroup(len(g.Recs), false, g.Mispredict)
+	}
 	return g, true
 }
 

@@ -1,0 +1,28 @@
+package fetch
+
+import "valuepred/internal/obs"
+
+// ObsSetter is implemented by fetch engines that can record delivered
+// groups into an observability sink. The sink is write-only: engines never
+// read it back, so fetch behaviour is bit-identical with or without one.
+type ObsSetter interface {
+	SetObs(*obs.Sink)
+}
+
+// Instrument attaches s to eng if the engine supports observation. Engines
+// outside this package simply go unobserved; group-level fetch metrics are
+// then absent but the pipeline-level metrics still record.
+func Instrument(eng Engine, s *obs.Sink) {
+	if es, ok := eng.(ObsSetter); ok {
+		es.SetObs(s)
+	}
+}
+
+// SetObs implements ObsSetter.
+func (e *Sequential) SetObs(s *obs.Sink) { e.obs = s }
+
+// SetObs implements ObsSetter.
+func (e *TraceCache) SetObs(s *obs.Sink) { e.obs = s }
+
+// SetObs implements ObsSetter.
+func (e *CollapsingBuffer) SetObs(s *obs.Sink) { e.obs = s }

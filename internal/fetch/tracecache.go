@@ -3,6 +3,7 @@ package fetch
 import (
 	"valuepred/internal/btb"
 	"valuepred/internal/isa"
+	"valuepred/internal/obs"
 	"valuepred/internal/trace"
 )
 
@@ -71,6 +72,7 @@ type TraceCache struct {
 	blockStart   uint64
 
 	stats Stats
+	obs   *obs.Sink
 }
 
 // NewTraceCache returns a trace-cache engine over recs.
@@ -112,10 +114,17 @@ func (e *TraceCache) NextGroup(maxInsts int) (Group, bool) {
 			}
 			e.stats.TCHitInsts += uint64(len(g.Recs))
 			e.stats.Insts += uint64(len(g.Recs))
+			if e.obs != nil {
+				e.obs.FetchGroup(len(g.Recs), true, g.Mispredict)
+			}
 			return g, true
 		}
 	}
-	return e.coreFetch(maxInsts), true
+	g := e.coreFetch(maxInsts)
+	if e.obs != nil {
+		e.obs.FetchGroup(len(g.Recs), false, g.Mispredict)
+	}
+	return g, true
 }
 
 // tryLine attempts a trace-cache hit. Selection requires the line's

@@ -16,6 +16,7 @@ package ideal
 import (
 	"fmt"
 
+	"valuepred/internal/obs"
 	"valuepred/internal/predictor"
 	"valuepred/internal/trace"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	// its sequence number, fetch cycle and execute cycle (commit follows
 	// one cycle after execute).
 	Observer func(seq, fetchCycle, execCycle uint64)
+	// Obs, when non-nil, receives per-cycle stage occupancy and
+	// value-prediction outcomes. Strictly write-only: results are
+	// bit-identical with Obs set or nil, and a nil Obs costs the loop only
+	// a nil-check.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the paper's Section 3 configuration at the given
@@ -158,6 +164,8 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 	window := make([]*windowEntry, 0, cfg.WindowSize)
 	penalty := uint64(cfg.MispredictPenalty)
 
+	o := cfg.Obs // nil when instrumentation is disabled
+
 	var cycle uint64 = 1
 	eof := false
 	for {
@@ -165,6 +173,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		// functional units). Entries are in fetch order, so a producer
 		// executing this cycle is marked done before later consumers in
 		// the same sweep — a same-cycle consumer counts as decoupled.
+		executed := 0
 		n := 0
 		for _, w := range window {
 			w.resolve(penalty)
@@ -172,6 +181,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 				w.prod.execCycle = cycle
 				w.prod.done = true
 				res.Insts++
+				executed++
 				if cfg.Observer != nil {
 					cfg.Observer(w.seq, w.fetchedAt, cycle)
 				}
@@ -181,6 +191,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 					if (!p.done || p.execCycle >= cycle) && !p.usefulSeen {
 						p.usefulSeen = true
 						res.Used++
+						if o != nil {
+							o.VPUseful()
+						}
 					}
 				}
 			} else {
@@ -192,6 +205,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 
 		// Fetch phase: up to FetchWidth instructions while the window has
 		// room; they may execute two cycles later.
+		fetched := 0
 		for f := 0; f < cfg.FetchWidth && len(window) < cfg.WindowSize && !eof; f++ {
 			rec, ok := src.Next()
 			if !ok {
@@ -200,11 +214,16 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 			}
 			w := &windowEntry{seq: rec.Seq, fetchedAt: cycle, earliest: cycle + 2, prod: &producerInfo{}}
 
+			fetched++
+
 			if cfg.OracleVP && rec.WritesValue() {
 				w.prod.predicted = true
 				w.prod.correct = true
 				res.Attempted++
 				res.Correct++
+				if o != nil {
+					o.VPAttempt(true)
+				}
 			} else if cfg.Predictor != nil && rec.WritesValue() {
 				pr := cfg.Predictor.Lookup(rec.PC)
 				if pr.Confident {
@@ -213,6 +232,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 					res.Attempted++
 					if w.prod.correct {
 						res.Correct++
+					}
+					if o != nil {
+						o.VPAttempt(w.prod.correct)
 					}
 				}
 				cfg.Predictor.Update(rec.PC, rec.Val)
@@ -253,11 +275,20 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 			window = append(window, w)
 		}
 
+		if o != nil {
+			// The ideal machine commits one cycle after execute; the commit
+			// count is reported as the execute count for display purposes.
+			o.Cycle(cycle, fetched, executed, executed, len(window))
+		}
+
 		if eof && len(window) == 0 {
 			break
 		}
 		cycle++
 	}
 	res.Cycles = cycle
+	if o != nil {
+		o.RunDone(res.Insts, res.Cycles, res.Correct, res.Used)
+	}
 	return res, nil
 }

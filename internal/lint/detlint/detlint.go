@@ -3,6 +3,13 @@
 // simulation packages may not read wall-clock time, draw from the shared
 // math/rand source, or let Go's randomized map iteration order leak into
 // anything ordered (slices, table rows, rendered output).
+//
+// The observability layer (internal/obs) gets one exemption and one extra
+// rule. Exemption: obs may read the wall clock — run manifests stamp wall
+// time, which is reporting metadata and never becomes simulated time. Extra
+// rule: no other restricted package may read a recorded metric back
+// (Counter.Value, Snapshot, ...); metrics observe, they never steer, which
+// is what keeps instrumented and uninstrumented runs bit-identical.
 package detlint
 
 import (
@@ -17,8 +24,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "detlint",
 	Doc: "forbid wall-clock reads (time.Now/Since), the package-global math/rand " +
-		"source, and map iteration whose body appends to a slice, writes table " +
-		"rows, or emits output, inside the simulation packages",
+		"source, map iteration whose body appends to a slice, writes table " +
+		"rows, or emits output, and reads of recorded obs metrics, inside the " +
+		"simulation packages (internal/obs itself may read the wall clock)",
 	Run: run,
 }
 
@@ -30,7 +38,8 @@ var Analyzer = &analysis.Analyzer{
 var restricted = map[string]bool{
 	"emu": true, "fetch": true, "pipeline": true, "predictor": true,
 	"experiment": true, "stats": true, "trace": true, "workload": true,
-	"ideal": true, "dfg": true, "btb": true, "core": true,
+	"ideal": true, "dfg": true, "btb": true, "core": true, "obs": true,
+	"tracestore": true,
 }
 
 // Applies reports whether pkgPath is bound by the determinism contract.
@@ -55,6 +64,33 @@ var randAllowed = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// isObsPkg reports whether pkgPath is the observability layer
+// (internal/.../obs): the one restricted package allowed to read the wall
+// clock, and the package whose recorded values no other restricted package
+// may read back.
+func isObsPkg(pkgPath string) bool {
+	parts := strings.Split(pkgPath, "/")
+	if parts[len(parts)-1] != "obs" {
+		return false
+	}
+	for _, p := range parts[:len(parts)-1] {
+		if p == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// obsReads names the obs functions and methods that return recorded metric
+// values. Calling one from a restricted simulation package would let
+// instrumentation steer the simulation, breaking the guarantee that
+// results are bit-identical with observability on or off. (Write-side
+// methods — Inc, Add, Observe, Cycle, ... — and plumbing like Track or
+// Registry are fine.)
+var obsReads = map[string]bool{
+	"Value": true, "Count": true, "Sum": true, "Snapshot": true,
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	if !Applies(pass.Pkg.Path()) {
 		return nil, nil
@@ -71,12 +107,18 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// checkSelector flags references to time.Now/time.Since and to any
+// checkSelector flags references to time.Now/time.Since, to any
 // package-level math/rand function that draws from the process-global
-// source.
+// source, and to obs functions or methods that read recorded metric values
+// back into a simulation package.
 func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if isObsPkg(fn.Pkg().Path()) && !isObsPkg(pass.Pkg.Path()) && obsReads[fn.Name()] {
+		pass.Reportf(sel.Pos(),
+			"obs.%s reads a recorded metric inside a simulation package; metrics observe, they never steer", fn.Name())
 		return
 	}
 	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
@@ -84,6 +126,9 @@ func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
+		if isObsPkg(pass.Pkg.Path()) {
+			return // manifests stamp wall time: reporting metadata, never simulated time
+		}
 		if fn.Name() == "Now" || fn.Name() == "Since" {
 			pass.Reportf(sel.Pos(),
 				"time.%s reads the wall clock; simulated time must come from the machine model", fn.Name())

@@ -19,6 +19,8 @@ func TestApplies(t *testing.T) {
 		"valuepred/internal/emu":        true,
 		"valuepred/internal/experiment": true,
 		"fix/internal/stats":            true,
+		"valuepred/internal/obs":        true, // restricted, with the wall-clock exemption
+		"valuepred/internal/tracestore": true,
 		"valuepred/cmd/vpsim":           false,
 		"valuepred":                     false,
 		"emu":                           false, // no internal element

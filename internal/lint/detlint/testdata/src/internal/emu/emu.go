@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"fix/internal/obs"
 )
 
 func clocks() time.Duration {
@@ -61,6 +63,16 @@ func mapInvert(m map[string]int) map[int]string {
 		out[v] = k
 	}
 	return out
+}
+
+func obsWrite(c *obs.Counter) {
+	c.Inc() // recording into obs is fine everywhere
+}
+
+func obsSteer(c *obs.Counter, r *obs.Registry) uint64 {
+	_ = r.Counter()   // plumbing (handle lookup) is fine
+	_ = r.Snapshot()  // want `obs\.Snapshot reads a recorded metric inside a simulation package`
+	return c.Value()  // want `obs\.Value reads a recorded metric inside a simulation package`
 }
 
 func sliceAppend(xs []int) []int {

@@ -1,0 +1,42 @@
+// Package obs is a detlint fixture for the observability exemption: its
+// import path ends in "obs" under an internal element, so wall-clock reads
+// are allowed (manifests stamp wall time) while the global math/rand source
+// and order-sensitive map iteration stay forbidden.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Counter mimics the real obs.Counter: writes from anywhere, reads only
+// outside the simulation packages.
+type Counter struct{ v uint64 }
+
+// Inc is a write: always fine.
+func (c *Counter) Inc() { c.v++ }
+
+// Value is a read: fine here in obs, flagged in restricted packages.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Registry mimics the real obs.Registry.
+type Registry struct{ c Counter }
+
+// Counter hands out a write handle (plumbing, not a read).
+func (r *Registry) Counter() *Counter { return &r.c }
+
+// Snapshot is a read: fine here, flagged in restricted packages.
+func (r *Registry) Snapshot() uint64 { return r.c.Value() }
+
+// Wall is the manifest's legitimate wall-clock read: exempt in obs.
+func Wall() time.Time { return time.Now() }
+
+// Elapsed is likewise exempt in obs.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// globalRand stays forbidden even in obs: randomness is never exempt.
+func globalRand() int {
+	return rand.Intn(8) // want `math/rand\.Intn draws from the package-global source`
+}
+
+var _ = globalRand

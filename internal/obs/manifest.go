@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Manifest is the machine-readable record of one simulator invocation:
+// what was run, with which configuration, how long it took, and the full
+// metric snapshot at exit. It is the only place in the simulator allowed
+// to read the wall clock (detlint exempts exactly this package) — wall
+// time is reporting metadata and never flows back into simulated time.
+//
+// The JSON field order is fixed by the struct definition, so a manifest
+// round-trips byte-identically through encoding/json: every slice is
+// ordered, and there are no maps anywhere in the structure.
+type Manifest struct {
+	Tool        string   `json:"tool"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Experiments []string `json:"experiments"`
+	Workloads   []string `json:"workloads"`
+	Seed        int64    `json:"seed"`
+	Seeds       int      `json:"seeds"`
+	TraceLen    int      `json:"trace_len"`
+	Start       string   `json:"start"`
+	WallMS      int64    `json:"wall_ms"`
+	Metrics     Snapshot `json:"metrics"`
+
+	began time.Time
+}
+
+// Begin starts a manifest for the named tool, stamping the start time and
+// build identity.
+func Begin(tool string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Start:     now.UTC().Format(time.RFC3339),
+		began:     now,
+	}
+}
+
+// Finish records the elapsed wall time and captures reg's metric snapshot
+// (reg may be nil for an empty snapshot).
+func (m *Manifest) Finish(reg *Registry) {
+	m.WallMS = time.Since(m.began).Milliseconds()
+	m.Metrics = reg.Snapshot()
+}
+
+// WriteJSON writes the manifest as indented JSON with the fixed field
+// order of the struct definition.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

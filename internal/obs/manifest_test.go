@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestManifestRoundTrip is the acceptance check for the manifest format:
+// the written JSON must round-trip through encoding/json byte-identically,
+// which holds exactly when the field order is fixed and the structure is
+// map-free.
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vp.useful").Add(42)
+	reg.Gauge("tracestore.entries").Set(3)
+	reg.Histogram("pipeline.window.occupancy", occupancyBounds).Observe(17)
+
+	m := Begin("vpsim-test")
+	m.Experiments = []string{"fig5.1", "fig5.3"}
+	m.Workloads = []string{"gcc", "go"}
+	m.Seed = 1
+	m.Seeds = 2
+	m.TraceLen = 200000
+	m.Finish(reg)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.Bytes()
+
+	var back Manifest
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Errorf("manifest does not round-trip byte-identically:\n%s\n----\n%s", first, buf2.Bytes())
+	}
+
+	if back.Tool != "vpsim-test" || back.TraceLen != 200000 {
+		t.Errorf("fields lost in round trip: %+v", back)
+	}
+	if v, ok := back.Metrics.Counter("vp.useful"); !ok || v != 42 {
+		t.Errorf("metrics snapshot lost in round trip: %d, %v", v, ok)
+	}
+	if back.WallMS < 0 {
+		t.Errorf("negative wall time %d", back.WallMS)
+	}
+	if !strings.Contains(string(first), `"go_version"`) {
+		t.Error("manifest missing go_version")
+	}
+
+	// Field order: tool must come first, metrics last.
+	s := string(first)
+	if !strings.HasPrefix(s, "{\n  \"tool\":") {
+		t.Errorf("tool is not the first field:\n%s", s[:60])
+	}
+	if strings.Index(s, `"metrics"`) < strings.Index(s, `"wall_ms"`) {
+		t.Error("metrics does not follow wall_ms")
+	}
+}

@@ -1,0 +1,323 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry (counters, gauges, fixed-bucket histograms), a cycle-level event
+// tracer exporting Chrome trace_event JSON, and run manifests recording the
+// configuration and metric snapshot of an invocation.
+//
+// The layer is strictly write-only from the simulator's point of view:
+// instrumentation points record events, and nothing in internal/pipeline,
+// internal/ideal, internal/fetch or internal/experiment ever reads a metric
+// back — metrics observe, they never steer. That one-way flow is what lets
+// the determinism contract survive instrumentation (the same run renders
+// bit-identical tables with obs enabled or disabled), and it is enforced by
+// detlint's obs-read rule.
+//
+// Every type in this package is nil-safe: a nil *Registry hands out nil
+// handles, and recording through a nil *Counter, *Gauge, *Histogram or
+// *Sink is a no-op. Disabled instrumentation therefore costs the hot loop
+// only a nil-check.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move both ways (occupancy, entry counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution metric. Bounds are inclusive
+// upper bucket bounds in ascending order; an implicit +Inf bucket catches
+// the overflow. Observation is lock-free (per-bucket atomic counters plus a
+// CAS loop for the float sum), so concurrent simulation goroutines can
+// share one histogram.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a concurrency-safe collection of named metrics. Handles are
+// get-or-create: the first request for a name registers it, later requests
+// (from any goroutine) return the same handle. Registration order is
+// remembered so snapshots never iterate a map.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	counterNs []string
+	gaugeNs   []string
+	histNs    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.counterNs = append(r.counterNs, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.gaugeNs = append(r.gaugeNs, name)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// inclusive upper bucket bounds (ascending; an implicit +Inf bucket is
+// added) on first use. Later requests return the existing histogram and
+// ignore bounds. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.hists[name] = h
+		r.histNs = append(r.histNs, name)
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one histogram bucket in a snapshot. Le is the inclusive
+// upper bound ("+Inf" for the overflow bucket, following the Prometheus
+// convention).
+type BucketValue struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric name so
+// that rendering it (text or JSON) is deterministic.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values, sorted by name. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counterNs := append([]string(nil), r.counterNs...)
+	gaugeNs := append([]string(nil), r.gaugeNs...)
+	histNs := append([]string(nil), r.histNs...)
+	r.mu.Unlock()
+	sort.Strings(counterNs)
+	sort.Strings(gaugeNs)
+	sort.Strings(histNs)
+	for _, n := range counterNs {
+		s.Counters = append(s.Counters, CounterValue{Name: n, Value: r.Counter(n).Value()})
+	}
+	for _, n := range gaugeNs {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: n, Value: r.Gauge(n).Value()})
+	}
+	for _, n := range histNs {
+		h := r.Histogram(n, nil)
+		hv := HistogramValue{Name: n, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			hv.Buckets = append(hv.Buckets, BucketValue{Le: le, Count: h.counts[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	return s
+}
+
+// Counter returns the value of the named counter in the snapshot.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge in the snapshot.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot as deterministic "name value" lines,
+// grouped by metric kind.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%s\n",
+			h.Name, h.Count, strconv.FormatFloat(h.Sum, 'g', -1, 64)); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "histogram %s le=%s %d\n", h.Name, b.Le, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

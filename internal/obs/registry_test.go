@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second Counter request returned a different handle")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 106.5 {
+		t.Errorf("histogram sum = %g, want 106.5", h.Sum())
+	}
+	s := r.Snapshot()
+	hv := s.Histograms[0]
+	want := []uint64{2, 1, 1} // le=1: {0.5, 1}; le=10: {5}; +Inf: {100}
+	for i, b := range hv.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %s = %d, want %d", b.Le, b.Count, want[i])
+		}
+	}
+	if hv.Buckets[2].Le != "+Inf" {
+		t.Errorf("overflow bucket labelled %q", hv.Buckets[2].Le)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter recorded a value")
+	}
+	g := r.Gauge("x")
+	g.Set(5)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge recorded a value")
+	}
+	h := r.Histogram("x", []float64{1})
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded a value")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+// TestSnapshotDeterministic registers metrics in scrambled orders from
+// concurrent goroutines and asserts the snapshot (text and JSON) is
+// identical across registries — name-sorted, never map-ordered.
+func TestSnapshotDeterministic(t *testing.T) {
+	render := func(names []string) string {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for _, n := range names {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				r.Counter("c." + n).Add(uint64(len(n)))
+				r.Gauge("g." + n).Set(int64(len(n)))
+				r.Histogram("h."+n, []float64{1, 2}).Observe(1)
+			}(n)
+		}
+		wg.Wait()
+		var sb strings.Builder
+		if err := r.Snapshot().WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String() + string(data)
+	}
+	a := render([]string{"zeta", "alpha", "mid", "beta"})
+	b := render([]string{"beta", "mid", "alpha", "zeta"})
+	if a != b {
+		t.Errorf("snapshots differ by registration order:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(9)
+	r.Gauge("occ").Set(-2)
+	s := r.Snapshot()
+	if v, ok := s.Counter("hits"); !ok || v != 9 {
+		t.Errorf("Counter(hits) = %d, %v", v, ok)
+	}
+	if _, ok := s.Counter("nope"); ok {
+		t.Error("missing counter reported present")
+	}
+	if v, ok := s.Gauge("occ"); !ok || v != -2 {
+		t.Errorf("Gauge(occ) = %d, %v", v, ok)
+	}
+}
+
+// TestRegistryConcurrentHammer drives one registry from many goroutines —
+// the pattern of concurrent experiment runs sharing a process-wide
+// registry — and checks totals; run under -race this is the data-race
+// proof for the obs hot path.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist", occupancyBounds)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 41))
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent reader
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("shared.hist", nil)
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}

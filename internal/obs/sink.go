@@ -1,0 +1,248 @@
+package obs
+
+// Sink is the instrumentation handle threaded through the simulator
+// layers. It fans events out to a metrics Registry (process-wide
+// aggregates) and a Tracer (per-run cycle-level event tracks); either or
+// both may be absent. All methods are no-ops on a nil *Sink, so a disabled
+// configuration costs the simulation hot loop exactly one nil-check per
+// instrumentation point.
+//
+// A root Sink aggregates under the track name "sim"; Track derives a child
+// sink whose tracer events land in their own named track while sharing the
+// parent's registry handles. A derived sink's tracer-side tallies are not
+// synchronized: use one derived sink per simulated run (the registry side
+// is atomic and may be shared freely).
+type Sink struct {
+	reg *Registry
+	tr  *Tracer
+	tb  *track
+	m   simMetrics
+
+	// Per-run cumulative tallies backing the tracer's counter series.
+	// Written by the single goroutine driving this run.
+	runVPAttempted uint64
+	runVPCorrect   uint64
+	runVPUseful    uint64
+	runVPDenied    uint64
+	runTCGroups    uint64
+	runCoreGroups  uint64
+	runStallBranch uint64
+	runStallWindow uint64
+}
+
+// simMetrics are the pre-resolved registry handles shared by a sink and
+// all its derived tracks. Handles are nil (no-op) when the registry is.
+type simMetrics struct {
+	cycles        *Counter
+	fetchInsts    *Counter
+	execInsts     *Counter
+	commitInsts   *Counter
+	fetchGroups   *Counter
+	fetchMispred  *Counter
+	tcGroups      *Counter
+	tcInsts       *Counter
+	stallBranch   *Counter
+	stallWindow   *Counter
+	vpAttempted   *Counter
+	vpCorrect     *Counter
+	vpUseful      *Counter
+	vpShadowed    *Counter
+	vpDenied      *Counter
+	windowOcc     *Histogram
+	fetchGroupLen *Histogram
+}
+
+// occupancyBounds bucket the 40-entry instruction window.
+var occupancyBounds = []float64{0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40}
+
+// groupBounds bucket fetch-group sizes (the paper's widths of interest).
+var groupBounds = []float64{0, 1, 2, 4, 8, 16, 24, 32, 40}
+
+// New returns a sink recording into reg and tr (either may be nil; with
+// both nil it returns nil, the fully disabled sink).
+func New(reg *Registry, tr *Tracer) *Sink {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Sink{
+		reg: reg,
+		tr:  tr,
+		tb:  tr.trackByName("sim"),
+		m: simMetrics{
+			cycles:        reg.Counter("sim.cycles"),
+			fetchInsts:    reg.Counter("pipeline.fetch.insts"),
+			execInsts:     reg.Counter("pipeline.exec.insts"),
+			commitInsts:   reg.Counter("pipeline.commit.insts"),
+			fetchGroups:   reg.Counter("fetch.groups"),
+			fetchMispred:  reg.Counter("fetch.mispredict.groups"),
+			tcGroups:      reg.Counter("fetch.tc.hit.groups"),
+			tcInsts:       reg.Counter("fetch.tc.hit.insts"),
+			stallBranch:   reg.Counter("stall.branch.cycles"),
+			stallWindow:   reg.Counter("stall.window_full.cycles"),
+			vpAttempted:   reg.Counter("vp.attempted"),
+			vpCorrect:     reg.Counter("vp.correct"),
+			vpUseful:      reg.Counter("vp.useful"),
+			vpShadowed:    reg.Counter("vp.shadowed"),
+			vpDenied:      reg.Counter("vp.denied"),
+			windowOcc:     reg.Histogram("pipeline.window.occupancy", occupancyBounds),
+			fetchGroupLen: reg.Histogram("fetch.group.insts", groupBounds),
+		},
+	}
+}
+
+// Track derives a sink whose tracer events land in their own named track.
+// The registry handles are shared with the parent, so metrics stay
+// process-wide aggregates. A nil sink derives nil.
+func (s *Sink) Track(name string) *Sink {
+	if s == nil {
+		return nil
+	}
+	child := *s
+	child.tb = s.tr.trackByName(name)
+	child.runVPAttempted, child.runVPCorrect, child.runVPUseful, child.runVPDenied = 0, 0, 0, 0
+	child.runTCGroups, child.runCoreGroups = 0, 0
+	child.runStallBranch, child.runStallWindow = 0, 0
+	return &child
+}
+
+// Cycle records one simulated cycle: the instructions entering each stage
+// this cycle and the end-of-cycle window occupancy. In this trace-driven
+// model decode/rename never stalls independently of fetch, so the rename
+// stage count equals the fetched count; commit equals execute under
+// scheduling-window semantics (the pipeline passes its own count under ROB
+// semantics). Tracer counter events are emitted every tracer-sample
+// cycles. No-op on a nil sink.
+func (s *Sink) Cycle(cycle uint64, fetched, executed, committed, window int) {
+	if s == nil {
+		return
+	}
+	s.m.cycles.Inc()
+	s.m.fetchInsts.Add(uint64(fetched))
+	s.m.execInsts.Add(uint64(executed))
+	s.m.commitInsts.Add(uint64(committed))
+	s.m.windowOcc.Observe(float64(window))
+	if s.tb != nil && cycle%s.tr.Sample() == 0 {
+		s.tb.emit(traceEvent{name: "pipeline stages", ph: 'C', ts: cycle, args: []traceArg{
+			{"fetch", float64(fetched)},
+			{"rename", float64(fetched)},
+			{"window", float64(window)},
+			{"exec", float64(executed)},
+			{"commit", float64(committed)},
+		}})
+		s.tb.emit(traceEvent{name: "value prediction", ph: 'C', ts: cycle, args: []traceArg{
+			{"attempted", float64(s.runVPAttempted)},
+			{"correct", float64(s.runVPCorrect)},
+			{"useful", float64(s.runVPUseful)},
+			{"denied", float64(s.runVPDenied)},
+		}})
+		s.tb.emit(traceEvent{name: "fetch path", ph: 'C', ts: cycle, args: []traceArg{
+			{"trace-cache groups", float64(s.runTCGroups)},
+			{"core groups", float64(s.runCoreGroups)},
+		}})
+		s.tb.emit(traceEvent{name: "stall cycles", ph: 'C', ts: cycle, args: []traceArg{
+			{"branch", float64(s.runStallBranch)},
+			{"window-full", float64(s.runStallWindow)},
+		}})
+	}
+}
+
+// StallBranch records a cycle in which fetch was blocked waiting for a
+// mispredicted control transfer to resolve. No-op on a nil sink.
+func (s *Sink) StallBranch() {
+	if s == nil {
+		return
+	}
+	s.m.stallBranch.Inc()
+	s.runStallBranch++
+}
+
+// StallWindow records a cycle in which fetch was blocked by a full
+// instruction window. No-op on a nil sink.
+func (s *Sink) StallWindow() {
+	if s == nil {
+		return
+	}
+	s.m.stallWindow.Inc()
+	s.runStallWindow++
+}
+
+// FetchGroup records one delivered fetch group. No-op on a nil sink.
+func (s *Sink) FetchGroup(n int, fromTC, mispredict bool) {
+	if s == nil {
+		return
+	}
+	s.m.fetchGroups.Inc()
+	s.m.fetchGroupLen.Observe(float64(n))
+	if mispredict {
+		s.m.fetchMispred.Inc()
+	}
+	if fromTC {
+		s.m.tcGroups.Inc()
+		s.m.tcInsts.Add(uint64(n))
+		s.runTCGroups++
+	} else {
+		s.runCoreGroups++
+	}
+}
+
+// VPAttempt records one confident value prediction and whether it matched
+// the committed value. No-op on a nil sink.
+func (s *Sink) VPAttempt(correct bool) {
+	if s == nil {
+		return
+	}
+	s.m.vpAttempted.Inc()
+	s.runVPAttempted++
+	if correct {
+		s.m.vpCorrect.Inc()
+		s.runVPCorrect++
+	}
+}
+
+// VPUseful records a correct prediction that decoupled a consumer from an
+// unexecuted producer — the paper's *useful* outcome, as opposed to a
+// DID-shadowed correct prediction whose consumers' operands were ready
+// anyway. No-op on a nil sink.
+func (s *Sink) VPUseful() {
+	if s == nil {
+		return
+	}
+	s.m.vpUseful.Inc()
+	s.runVPUseful++
+}
+
+// VPDenied records a prediction withheld by the delivery network (bank
+// conflict, hint drop, or a merged copy of a denied primary). No-op on a
+// nil sink.
+func (s *Sink) VPDenied() {
+	if s == nil {
+		return
+	}
+	s.m.vpDenied.Inc()
+	s.runVPDenied++
+}
+
+// RunDone closes out one simulated run: correct-but-never-useful
+// predictions are counted as DID-shadowed, and a summary instant event is
+// dropped at the final cycle. No-op on a nil sink.
+func (s *Sink) RunDone(insts, cycles, correct, used uint64) {
+	if s == nil {
+		return
+	}
+	s.m.vpShadowed.Add(correct - used)
+	if s.tb != nil {
+		s.tb.emit(traceEvent{name: "run done", ph: 'I', ts: cycles, args: []traceArg{
+			{"insts", float64(insts)},
+			{"cycles", float64(cycles)},
+			{"vp shadowed", float64(correct - used)},
+		}})
+	}
+}
+
+// Registry returns the sink's metrics registry (nil for a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}

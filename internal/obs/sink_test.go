@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSinkRecordsMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := New(reg, nil)
+	s.Cycle(1, 4, 3, 3, 12)
+	s.Cycle(2, 0, 2, 2, 10)
+	s.StallBranch()
+	s.StallBranch()
+	s.StallWindow()
+	s.FetchGroup(4, false, true)
+	s.FetchGroup(8, true, false)
+	s.VPAttempt(true)
+	s.VPAttempt(false)
+	s.VPUseful()
+	s.VPDenied()
+	s.RunDone(100, 50, 10, 7)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"sim.cycles":               2,
+		"pipeline.fetch.insts":     4,
+		"pipeline.exec.insts":      5,
+		"pipeline.commit.insts":    5,
+		"fetch.groups":             2,
+		"fetch.mispredict.groups":  1,
+		"fetch.tc.hit.groups":      1,
+		"fetch.tc.hit.insts":       8,
+		"stall.branch.cycles":      2,
+		"stall.window_full.cycles": 1,
+		"vp.attempted":             2,
+		"vp.correct":               1,
+		"vp.useful":                1,
+		"vp.denied":                1,
+		"vp.shadowed":              3, // 10 correct - 7 used
+	} {
+		if got, ok := snap.Counter(name); !ok || got != want {
+			t.Errorf("counter %s = %d (present %v), want %d", name, got, ok, want)
+		}
+	}
+}
+
+// TestSinkTracksShareRegistry verifies Track() derives sinks that
+// aggregate into the same process-wide counters, from concurrent runs.
+func TestSinkTracksShareRegistry(t *testing.T) {
+	reg := NewRegistry()
+	root := New(reg, NewTracer(1))
+	const runs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := root.Track(string(rune('a' + i)))
+			for cyc := uint64(1); cyc <= 100; cyc++ {
+				s.Cycle(cyc, 2, 2, 2, 20)
+				s.VPAttempt(cyc%2 == 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got, _ := snap.Counter("sim.cycles"); got != runs*100 {
+		t.Errorf("sim.cycles = %d, want %d", got, runs*100)
+	}
+	if got, _ := snap.Counter("vp.attempted"); got != runs*100 {
+		t.Errorf("vp.attempted = %d, want %d", got, runs*100)
+	}
+	if got, _ := snap.Counter("vp.correct"); got != runs*50 {
+		t.Errorf("vp.correct = %d, want %d", got, runs*50)
+	}
+}

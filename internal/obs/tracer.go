@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Tracer collects cycle-level simulation events and exports them as Chrome
+// trace_event JSON (the format read by chrome://tracing and Perfetto).
+// Events are grouped into named tracks — one per simulated run, e.g.
+// "fig5.1/gcc/n=4/vp" — which become threads in the trace viewer. The
+// simulated cycle number is used as the microsecond timestamp, so one
+// viewer microsecond is one machine cycle.
+//
+// Export is deterministic regardless of goroutine scheduling: tracks are
+// sorted by name, events within a track are sorted by timestamp, and all
+// numbers are formatted with strconv, so the same simulation produces a
+// byte-identical trace file.
+type Tracer struct {
+	sample uint64
+
+	mu     sync.Mutex
+	tracks map[string]*track
+	order  []string
+}
+
+// track is one event buffer. Each simulated run appends to its own track
+// from a single goroutine; the tracer-level mutex only guards track
+// creation.
+type track struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one Chrome trace_event record. Args are an ordered list so
+// the rendered JSON never depends on map iteration.
+type traceEvent struct {
+	name string
+	ph   byte // 'C' counter, 'I' instant
+	ts   uint64
+	args []traceArg
+}
+
+type traceArg struct {
+	key string
+	val float64
+}
+
+// NewTracer returns a tracer that records counter events every sample
+// cycles (sample < 1 is treated as 1; raise it to shrink trace files of
+// long runs).
+func NewTracer(sample int) *Tracer {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{sample: uint64(sample), tracks: make(map[string]*track)}
+}
+
+// Sample returns the cycle sampling interval (1 for a nil tracer).
+func (t *Tracer) Sample() uint64 {
+	if t == nil {
+		return 1
+	}
+	return t.sample
+}
+
+// track returns the named event buffer, creating it on first use. A nil
+// tracer returns nil.
+func (t *Tracer) trackByName(name string) *track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.tracks[name]
+	if !ok {
+		tr = &track{}
+		t.tracks[name] = tr
+		t.order = append(t.order, name)
+	}
+	return tr
+}
+
+// emit appends one event. No-op on a nil track.
+func (tr *track) emit(ev traceEvent) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, ev)
+	tr.mu.Unlock()
+}
+
+// WriteJSON writes the collected events in Chrome trace_event JSON object
+// format. A nil tracer writes an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString(`{"traceEvents":[`)
+	first := true
+	put := func(s string) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	if t != nil {
+		t.mu.Lock()
+		names := append([]string(nil), t.order...)
+		t.mu.Unlock()
+		sort.Strings(names)
+		tid := 0
+		for _, name := range names {
+			tr := t.trackByName(name)
+			tr.mu.Lock()
+			events := append([]traceEvent(nil), tr.events...)
+			tr.mu.Unlock()
+			if len(events) == 0 {
+				continue // tracks that never recorded are not threads
+			}
+			tid++
+			put(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+				tid, strconv.Quote(name)))
+			sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
+			for _, ev := range events {
+				var eb strings.Builder
+				fmt.Fprintf(&eb, `{"name":%s,"ph":%s,"ts":%d,"pid":1,"tid":%d,"args":{`,
+					strconv.Quote(ev.name), strconv.Quote(string(ev.ph)), ev.ts, tid)
+				for i, a := range ev.args {
+					if i > 0 {
+						eb.WriteByte(',')
+					}
+					fmt.Fprintf(&eb, "%s:%s", strconv.Quote(a.key),
+						strconv.FormatFloat(a.val, 'g', -1, 64))
+				}
+				eb.WriteString("}}")
+				put(eb.String())
+			}
+		}
+	}
+	sb.WriteString(`],"displayTimeUnit":"ms"}`)
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chromeTrace mirrors the Chrome trace_event JSON object format for
+// schema validation.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   *float64       `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// validateChromeTrace parses data as trace_event JSON and applies the
+// schema checks shared with the vpsim -trace-out test.
+func validateChromeTrace(t *testing.T, data []byte) chromeTrace {
+	t.Helper()
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == "" {
+			t.Errorf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "C", "I", "M":
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Ph != "M" && ev.TS == nil {
+			t.Errorf("event %d (%s) has no timestamp", i, ev.Name)
+		}
+		if ev.Pid == 0 || ev.Tid == 0 {
+			t.Errorf("event %d (%s) missing pid/tid", i, ev.Name)
+		}
+		if ev.Args == nil {
+			t.Errorf("event %d (%s) has no args", i, ev.Name)
+		}
+	}
+	return ct
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(1)
+	s := New(nil, tr)
+	a := s.Track("run/a")
+	b := s.Track("run/b")
+	for cyc := uint64(1); cyc <= 3; cyc++ {
+		a.Cycle(cyc, 4, 2, 2, 10)
+		b.Cycle(cyc, 8, 8, 8, 40)
+	}
+	a.RunDone(6, 3, 2, 1)
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ct := validateChromeTrace(t, []byte(sb.String()))
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("no events written")
+	}
+
+	// Track metadata must name both tracks, sorted.
+	var threads []string
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threads = append(threads, ev.Args["name"].(string))
+		}
+	}
+	if len(threads) != 2 || threads[0] != "run/a" || threads[1] != "run/b" {
+		t.Errorf("thread names = %v", threads)
+	}
+}
+
+// TestTracerDeterministicExport records the same events from tracks
+// created in different interleavings and expects byte-identical JSON.
+func TestTracerDeterministicExport(t *testing.T) {
+	record := func(order []string) string {
+		tr := NewTracer(1)
+		root := New(nil, tr)
+		var wg sync.WaitGroup
+		for _, name := range order {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				s := root.Track(name)
+				for cyc := uint64(1); cyc <= 5; cyc++ {
+					s.Cycle(cyc, len(name), 1, 1, int(cyc))
+				}
+			}(name)
+		}
+		wg.Wait()
+		var sb strings.Builder
+		if err := tr.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	names := []string{"fig/one", "fig/two", "fig/three"}
+	rev := []string{"fig/three", "fig/two", "fig/one"}
+	if a, b := record(names), record(rev); a != b {
+		t.Errorf("trace export depends on track creation order:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(10)
+	s := New(nil, tr).Track("sampled")
+	for cyc := uint64(1); cyc <= 100; cyc++ {
+		s.Cycle(cyc, 1, 1, 1, 1)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ct := validateChromeTrace(t, []byte(sb.String()))
+	var stageEvents int
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "pipeline stages" {
+			stageEvents++
+		}
+	}
+	if stageEvents != 10 {
+		t.Errorf("sampled %d stage events, want 10", stageEvents)
+	}
+}
+
+func TestNilTracerAndSink(t *testing.T) {
+	var tr *Tracer
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Errorf("nil tracer output %q", sb.String())
+	}
+
+	// Every Sink method must be callable through nil.
+	var s *Sink
+	if New(nil, nil) != nil {
+		t.Error("New(nil, nil) should be the nil sink")
+	}
+	s = s.Track("x")
+	if s != nil {
+		t.Error("Track on nil sink should stay nil")
+	}
+	s.Cycle(1, 1, 1, 1, 1)
+	s.StallBranch()
+	s.StallWindow()
+	s.FetchGroup(4, true, false)
+	s.VPAttempt(true)
+	s.VPUseful()
+	s.VPDenied()
+	s.RunDone(1, 1, 1, 1)
+	if s.Registry() != nil {
+		t.Error("nil sink has a registry")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"valuepred/internal/core"
 	"valuepred/internal/fetch"
 	"valuepred/internal/isa"
+	"valuepred/internal/obs"
 	"valuepred/internal/predictor"
 	"valuepred/internal/trace"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	LoadLatency int
 	MulLatency  int
 	DivLatency  int
+	// Obs, when non-nil, receives per-cycle stage occupancy, stall causes
+	// and value-prediction outcomes. Observability is strictly write-only:
+	// nothing recorded here feeds back into the simulation, so results are
+	// bit-identical with Obs set or nil, and a nil Obs costs the hot loop
+	// only a nil-check.
+	Obs *obs.Sink
 }
 
 // latencyOf returns the execution latency of an opcode under cfg.
@@ -214,6 +221,11 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 	window := make([]*entry, 0, cfg.WindowSize)
 	valuePenalty := uint64(cfg.ValuePenalty)
 
+	o := cfg.Obs // nil when instrumentation is disabled
+	if o != nil {
+		fetch.Instrument(eng, o)
+	}
+
 	var stallOn *entry // mispredicted control transfer gating fetch
 	var cycle uint64 = 1
 	eof := false
@@ -221,8 +233,8 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 	for {
 		// Commit: with ROB semantics, retire in order, up to Width per
 		// cycle, one cycle after execute.
+		committed := 0
 		if cfg.HoldUntilCommit {
-			committed := 0
 			for len(window) > 0 && committed < cfg.Width {
 				head := window[0]
 				if !head.executed || head.execCycle >= cycle {
@@ -254,6 +266,9 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 						if (!p.done || p.resultAt > cycle) && !p.usefulSeen {
 							p.usefulSeen = true
 							res.Used++
+							if o != nil {
+								o.VPUseful()
+							}
 						}
 					}
 					if !cfg.HoldUntilCommit {
@@ -269,6 +284,7 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 		res.OccupancySum += uint64(len(window))
 
 		// Fetch: blocked while a mispredicted branch is unresolved.
+		fetched := 0
 		canFetch := !eof
 		if stallOn != nil {
 			if stallOn.executed && cycle >= stallOn.execCycle+uint64(cfg.BranchPenalty) {
@@ -277,6 +293,9 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 				canFetch = false
 				if !eof {
 					res.BranchStallCycles++
+					if o != nil {
+						o.StallBranch()
+					}
 				}
 			}
 		}
@@ -287,6 +306,9 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 			}
 			if space <= 0 {
 				res.WindowFullCycles++
+				if o != nil {
+					o.StallWindow()
+				}
 			}
 			if space > 0 {
 				g, ok := eng.NextGroup(space)
@@ -295,11 +317,22 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 				} else {
 					entries := ingest(g.Recs, cycle, cfg, &res, regProd[:], memProd)
 					window = append(window, entries...)
+					fetched = len(entries)
 					if g.Mispredict && len(entries) > 0 {
 						stallOn = entries[len(entries)-1]
 					}
 				}
 			}
+		}
+
+		if o != nil {
+			// With scheduling-window semantics an instruction leaves its slot
+			// (and architecturally commits) at execute, so the commit-stage
+			// count mirrors the execute count.
+			if !cfg.HoldUntilCommit {
+				committed = fus
+			}
+			o.Cycle(cycle, fetched, fus, committed, len(window))
 		}
 
 		if eof && len(window) == 0 {
@@ -312,6 +345,9 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 	}
 	res.Cycles = cycle
 	res.Fetch = eng.Stats()
+	if o != nil {
+		o.RunDone(res.Insts, res.Cycles, res.Correct, res.Used)
+	}
 	return res, nil
 }
 
@@ -349,6 +385,9 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 				slot := slots[slotIdx[i]]
 				if slot.Denied {
 					res.DeniedSlots++
+					if cfg.Obs != nil {
+						cfg.Obs.VPDenied()
+					}
 				}
 				if slot.Valid {
 					w.prod.predicted = true
@@ -356,6 +395,9 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 					res.Attempted++
 					if w.prod.correct {
 						res.Correct++
+					}
+					if cfg.Obs != nil {
+						cfg.Obs.VPAttempt(w.prod.correct)
 					}
 				}
 			case cfg.Predictor != nil:
@@ -366,6 +408,9 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 					res.Attempted++
 					if w.prod.correct {
 						res.Correct++
+					}
+					if cfg.Obs != nil {
+						cfg.Obs.VPAttempt(w.prod.correct)
 					}
 				}
 				cfg.Predictor.Update(rec.PC, rec.Val)

@@ -1,0 +1,69 @@
+package predictor
+
+import "valuepred/internal/obs"
+
+// observed wraps a Predictor with write-only metrics counters. The wrapped
+// predictor's decisions are passed through untouched, so instrumented and
+// bare predictors produce bit-identical simulations.
+type observed struct {
+	p         Predictor
+	lookups   *obs.Counter
+	hasValue  *obs.Counter
+	confident *obs.Counter
+	updates   *obs.Counter
+}
+
+// Instrument returns p wrapped to count its lookups and updates in reg
+// under the "predictor." prefix. A StrideSource predictor stays a
+// StrideSource (the banked network's distributor still sees it). With a nil
+// predictor or registry, p is returned unwrapped.
+func Instrument(p Predictor, reg *obs.Registry) Predictor {
+	if p == nil || reg == nil {
+		return p
+	}
+	o := observed{
+		p:         p,
+		lookups:   reg.Counter("predictor.lookups"),
+		hasValue:  reg.Counter("predictor.lookup.has_value"),
+		confident: reg.Counter("predictor.lookup.confident"),
+		updates:   reg.Counter("predictor.updates"),
+	}
+	if ss, ok := p.(StrideSource); ok {
+		return &observedStride{observed: o, ss: ss}
+	}
+	return &o
+}
+
+// Name implements Predictor.
+func (o *observed) Name() string { return o.p.Name() }
+
+// Lookup implements Predictor.
+func (o *observed) Lookup(pc uint64) Prediction {
+	pr := o.p.Lookup(pc)
+	o.lookups.Inc()
+	if pr.HasValue {
+		o.hasValue.Inc()
+	}
+	if pr.Confident {
+		o.confident.Inc()
+	}
+	return pr
+}
+
+// Update implements Predictor.
+func (o *observed) Update(pc uint64, actual uint64) {
+	o.updates.Inc()
+	o.p.Update(pc, actual)
+}
+
+// observedStride is the StrideSource-preserving variant of observed.
+type observedStride struct {
+	observed
+	ss StrideSource
+}
+
+// LastAndStride implements StrideSource by delegating to the wrapped
+// predictor (distributor reads are not counted as lookups).
+func (o *observedStride) LastAndStride(pc uint64) (uint64, int64, bool) {
+	return o.ss.LastAndStride(pc)
+}

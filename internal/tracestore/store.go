@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"valuepred/internal/obs"
 	"valuepred/internal/trace"
 	"valuepred/internal/workload"
 )
@@ -74,6 +75,19 @@ type flight struct {
 	err  error
 }
 
+// storeMetrics are optional obs handles mirroring the Stats counters.
+// Every obs method is a no-op through a nil handle, so an uninstrumented
+// store pays only the nil-receiver checks.
+type storeMetrics struct {
+	hits       *obs.Counter
+	prefixHits *obs.Counter
+	misses     *obs.Counter
+	dedups     *obs.Counter
+	evictions  *obs.Counter
+	records    *obs.Gauge
+	entries    *obs.Gauge
+}
+
 // Store is a size-bounded, concurrency-safe trace cache.
 type Store struct {
 	mu       sync.Mutex
@@ -83,6 +97,7 @@ type Store struct {
 	total    int
 	inflight map[key]*flight
 	stats    Stats
+	obs      storeMetrics
 	gen      func(name string, seed int64, n int) ([]trace.Rec, error)
 }
 
@@ -104,6 +119,29 @@ var shared = New(DefaultLimit)
 // the valuepred facade.
 func Shared() *Store { return shared }
 
+// Instrument mirrors the store's Stats counters into reg under the
+// "tracestore." prefix. Mirroring starts at the call; counters already
+// accumulated in Stats are not replayed. A nil registry detaches.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.obs = storeMetrics{}
+		return
+	}
+	s.obs = storeMetrics{
+		hits:       reg.Counter("tracestore.hits"),
+		prefixHits: reg.Counter("tracestore.prefix_hits"),
+		misses:     reg.Counter("tracestore.misses"),
+		dedups:     reg.Counter("tracestore.dedups"),
+		evictions:  reg.Counter("tracestore.evictions"),
+		records:    reg.Gauge("tracestore.records"),
+		entries:    reg.Gauge("tracestore.entries"),
+	}
+	s.obs.records.Set(int64(s.total))
+	s.obs.entries.Set(int64(len(s.entries)))
+}
+
 // Get returns the first n records of the named workload's trace for seed,
 // generating it at most once per process for any concurrent and future
 // callers. The returned slice aliases the cache and must not be modified.
@@ -120,8 +158,10 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 		if e, ok := s.entries[k]; ok && len(e.recs) >= n {
 			s.lru.MoveToFront(e.elem)
 			s.stats.Hits++
+			s.obs.hits.Inc()
 			if len(e.recs) > n {
 				s.stats.PrefixHits++
+				s.obs.prefixHits.Inc()
 			}
 			recs := e.recs[:n:n]
 			s.mu.Unlock()
@@ -131,6 +171,7 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 			if f.n >= n {
 				// Join the in-flight generation and sub-slice its result.
 				s.stats.Dedups++
+				s.obs.dedups.Inc()
 				s.mu.Unlock()
 				<-f.done
 				if f.err != nil {
@@ -147,6 +188,7 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 		f := &flight{done: make(chan struct{}), n: n}
 		s.inflight[k] = f
 		s.stats.Misses++
+		s.obs.misses.Inc()
 		s.mu.Unlock()
 
 		recs, err := s.gen(name, seed, n)
@@ -171,6 +213,10 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 // s.mu held. A trace larger than the whole bound is returned to the caller
 // but not cached.
 func (s *Store) insert(k key, recs []trace.Rec) {
+	defer func() {
+		s.obs.records.Set(int64(s.total))
+		s.obs.entries.Set(int64(len(s.entries)))
+	}()
 	if old, ok := s.entries[k]; ok {
 		if len(old.recs) >= len(recs) {
 			return // a concurrent caller already cached an equal/longer trace
@@ -192,6 +238,7 @@ func (s *Store) insert(k key, recs []trace.Rec) {
 		delete(s.entries, bk)
 		s.lru.Remove(back)
 		s.stats.Evictions++
+		s.obs.evictions.Inc()
 	}
 	s.entries[k] = &entry{recs: recs, elem: s.lru.PushFront(k)}
 	s.total += len(recs)
@@ -239,4 +286,6 @@ func (s *Store) Reset() {
 	s.lru.Init()
 	s.total = 0
 	s.stats = Stats{}
+	s.obs.records.Set(0)
+	s.obs.entries.Set(0)
 }

@@ -22,6 +22,7 @@ import (
 	"valuepred/internal/experiment"
 	"valuepred/internal/fetch"
 	"valuepred/internal/ideal"
+	"valuepred/internal/obs"
 	"valuepred/internal/pipeline"
 	"valuepred/internal/predictor"
 	"valuepred/internal/stats"
@@ -283,6 +284,54 @@ func NewNetworkConfig() NetworkConfig { return core.DefaultConfig() }
 
 // NewNetwork builds a prediction network.
 func NewNetwork(cfg NetworkConfig) (*Network, error) { return core.NewNetwork(cfg) }
+
+// --- observability ---
+
+// MetricsRegistry is a concurrency-safe collection of named counters,
+// gauges and histograms with deterministic snapshots.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time, name-ordered copy of a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer collects cycle-level simulation events and exports Chrome
+// trace_event JSON viewable in chrome://tracing or Perfetto.
+type Tracer = obs.Tracer
+
+// ObsSink is the write-only instrumentation handle accepted by
+// MachineConfig.Obs, IdealConfig.Obs and Params.Obs. Metrics observe, they
+// never steer: simulation results are bit-identical with or without one.
+type ObsSink = obs.Sink
+
+// Manifest is the machine-readable record of one simulator invocation.
+type Manifest = obs.Manifest
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTracer returns a tracer recording counter events every sample
+// cycles (sample < 1 is treated as 1).
+func NewEventTracer(sample int) *Tracer { return obs.NewTracer(sample) }
+
+// NewObsSink returns a sink recording into reg and tr; either may be nil,
+// and with both nil the returned sink is nil (fully disabled — every method
+// is a no-op on a nil sink).
+func NewObsSink(reg *MetricsRegistry, tr *Tracer) *ObsSink { return obs.New(reg, tr) }
+
+// BeginManifest starts a run manifest for the named tool.
+func BeginManifest(tool string) *Manifest { return obs.Begin(tool) }
+
+// InstrumentTraceStore mirrors the shared trace store's counters into reg
+// under the "tracestore." prefix.
+func InstrumentTraceStore(reg *MetricsRegistry) { tracestore.Shared().Instrument(reg) }
+
+// InstrumentPredictor wraps p so its lookups and updates are counted in reg
+// under the "predictor." prefix. The wrapper passes predictions through
+// untouched and preserves the stride-source capability used by the banked
+// network's distributor.
+func InstrumentPredictor(p Predictor, reg *MetricsRegistry) Predictor {
+	return predictor.Instrument(p, reg)
+}
 
 // --- experiments ---
 
