@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke bench-tracestore clean
+.PHONY: check build vet lint test race bench bench-smoke bench-tracestore serve-smoke clean
 
 # check is the CI gate: static analysis (go vet + the custom vplint
 # suite), a full build, and the test suite under the race detector (the
@@ -39,6 +39,12 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkPipeline$$|BenchmarkTraceStore$$|BenchmarkIdealMachine$$' \
 		-benchtime=1x . | $(GO) run ./cmd/benchjson -o /dev/null
+
+# serve-smoke boots cmd/vpserve on a free port, curls the health check and
+# one small figure, diffs the served table against the vpsim rendering of
+# the same run, and requires a clean graceful-drain exit on SIGTERM.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # bench-tracestore measures the trace cache's hit vs miss path cost.
 bench-tracestore:

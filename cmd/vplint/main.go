@@ -1,8 +1,8 @@
 // Command vplint is the repository's multichecker: it runs the custom
-// determinism and stats-safety analyzers (detlint, errlint, keyedlint,
-// mutexlint — see DESIGN.md, "Determinism contract & lint suite") over the
-// packages matched by the given patterns and exits non-zero if any
-// diagnostic fires.
+// determinism, documentation and stats-safety analyzers (detlint, doclint,
+// errlint, keyedlint, mutexlint — see DESIGN.md, "Determinism contract &
+// lint suite") over the packages matched by the given patterns and exits
+// non-zero if any diagnostic fires.
 //
 // Usage:
 //

@@ -18,6 +18,7 @@ func TestKnownBadFixture(t *testing.T) {
 	got := out.String()
 	for _, want := range []struct{ analyzer, fragment string }{
 		{"detlint", "map iteration order is randomized"},
+		{"doclint", "package main has no package doc comment"},
 		{"errlint", "error returned by stats.Load is discarded"},
 		{"keyedlint", "unkeyed fields in composite literal of Config"},
 		{"mutexlint", "receiver passes bad/use.Guarded by value"},
@@ -26,11 +27,11 @@ func TestKnownBadFixture(t *testing.T) {
 			t.Errorf("missing %s diagnostic (%q) in output:\n%s", want.analyzer, want.fragment, got)
 		}
 	}
-	if strings.Contains(got, "Suppressed") || strings.Contains(err.Error(), "5 issue") {
+	if strings.Contains(got, "Suppressed") || strings.Contains(err.Error(), "6 issue") {
 		t.Errorf("the //vplint:ignore directive did not suppress the marked loop:\n%s", got)
 	}
-	if !strings.Contains(err.Error(), "4 issue(s) found") {
-		t.Errorf("expected exactly 4 issues, got: %v", err)
+	if !strings.Contains(err.Error(), "5 issue(s) found") {
+		t.Errorf("expected exactly 5 issues, got: %v", err)
 	}
 }
 
@@ -46,13 +47,13 @@ func TestOnlySubset(t *testing.T) {
 	}
 }
 
-// TestListAnalyzers checks -list names all four analyzers.
+// TestListAnalyzers checks -list names all five analyzers.
 func TestListAnalyzers(t *testing.T) {
 	var out, errBuf strings.Builder
 	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"detlint", "errlint", "keyedlint", "mutexlint"} {
+	for _, name := range []string{"detlint", "doclint", "errlint", "keyedlint", "mutexlint"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

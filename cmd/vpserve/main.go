@@ -1,0 +1,116 @@
+// Command vpserve serves the experiment registry over HTTP: any table or
+// figure of the paper's evaluation, rendered on demand and shared across
+// clients through one warm trace store.
+//
+// Usage:
+//
+//	vpserve [-addr 127.0.0.1:8080] [-max-concurrent 4] [-timeout 2m]
+//	        [-cache 64] [-max-tracelen 2000000] [-max-seeds 16]
+//	        [-drain-timeout 30s]
+//
+// Endpoints (see DESIGN.md §11 and the README "Serving" walkthrough):
+//
+//	GET /healthz                 liveness (503 while draining)
+//	GET /v1/experiments          JSON list of experiment ids
+//	GET /v1/experiments/{id}     run/serve one experiment
+//	    ?seed=1&tracelen=200000&seeds=1&workloads=go,gcc&format=text
+//	GET /v1/metrics              metrics snapshot (text, or ?format=json)
+//
+// Identical concurrent requests coalesce onto one simulation, completed
+// tables are cached in a bounded LRU, saturation is shed with 429 +
+// Retry-After, and slow runs end in 504 at -timeout. On SIGTERM or SIGINT
+// the server drains: the health check starts failing, new simulations are
+// refused, in-flight requests complete (up to -drain-timeout), then the
+// process exits; a second deadline overrun aborts the remaining
+// simulations through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"valuepred/internal/serve"
+)
+
+func main() {
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, signals, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the listener fails or a signal
+// arrives. onReady, when non-nil, receives the bound address once the
+// listener is up (the tests bind :0 and need the real port).
+func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("vpserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		maxConcurrent = fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "max simultaneous simulations; beyond it requests get 429 + Retry-After")
+		timeout       = fs.Duration("timeout", serve.DefaultTimeout, "per-simulation timeout; an expired run returns 504")
+		cacheEntries  = fs.Int("cache", serve.DefaultCacheEntries, "completed-table LRU capacity (entries)")
+		maxTraceLen   = fs.Int("max-tracelen", serve.DefaultMaxTraceLen, "largest per-request tracelen accepted")
+		maxSeeds      = fs.Int("max-seeds", serve.DefaultMaxSeeds, "largest per-request seeds accepted")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		Timeout:       *timeout,
+		CacheEntries:  *cacheEntries,
+		MaxTraceLen:   *maxTraceLen,
+		MaxSeeds:      *maxSeeds,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stderr, "vpserve: listening on http://%s\n", ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-signals:
+		fmt.Fprintf(stderr, "vpserve: %v: draining (up to %s)\n", sig, *drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			// The drain deadline expired with requests still in flight:
+			// abort their simulations and drop the connections.
+			srv.Close()
+			if cerr := hs.Close(); cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
+				return fmt.Errorf("drain timed out (%w); force close: %v", err, cerr)
+			}
+			return fmt.Errorf("drain timed out: %w", err)
+		}
+		srv.Close()
+		fmt.Fprintln(stderr, "vpserve: drained")
+		return nil
+	}
+}

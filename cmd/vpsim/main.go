@@ -3,7 +3,8 @@
 // Usage:
 //
 //	vpsim -list
-//	vpsim -experiment fig3.1 [-seed 1] [-len 200000] [-workloads go,gcc] [-csv] [-o out.txt]
+//	vpsim -experiment fig3.1 [-seed 1] [-seeds 5] [-len 200000] [-workloads go,gcc]
+//	      [-csv|-md|-chart] [-o out.txt]
 //	vpsim -all [-preload] [-cachestats]
 //	vpsim -experiment fig5.1 -metrics -trace-out run.json -manifest run-manifest.json
 //

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,6 +39,11 @@ type Params struct {
 	// its own tracer track named like "fig5.1/gcc/n=4/vp". Observability is
 	// write-only: tables are bit-identical with Obs set or nil.
 	Obs *obs.Sink
+
+	// ctx carries the run's cancellation signal. It is unexported so that a
+	// context can only enter through RunCtx/RunSeedsCtx, never get baked
+	// into a stored Params value by accident; nil means "never canceled".
+	ctx context.Context
 }
 
 // DefaultParams returns the parameters used by the benchmark harness.
@@ -50,6 +56,21 @@ func (p Params) workloads() []string {
 		return p.Workloads
 	}
 	return workload.Names()
+}
+
+// ctxErr reports whether the run's context has been canceled or timed out,
+// wrapping the context error so callers can tell an aborted run apart from
+// a validation failure with errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded). A Params without a context
+// never aborts.
+func (p Params) ctxErr() error {
+	if p.ctx == nil {
+		return nil
+	}
+	if err := p.ctx.Err(); err != nil {
+		return fmt.Errorf("experiment: run aborted: %w", err)
+	}
+	return nil
 }
 
 func (p Params) validate() error {
@@ -98,6 +119,9 @@ func (p Params) traces() (map[string][]trace.Rec, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	names := p.workloads()
 	st := p.store()
 	recs := make([][]trace.Rec, len(names))
@@ -111,6 +135,11 @@ func (p Params) traces() (map[string][]trace.Rec, error) {
 		}(i, name)
 	}
 	wg.Wait()
+	// A cancellation that arrived while the emulators ran wins over any
+	// per-workload error: the caller asked the whole run to stop.
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	out := make(map[string][]trace.Rec, len(names))
 	for i, name := range names {
 		if errs[i] != nil {
@@ -172,6 +201,25 @@ func Run(id string, p Params) (*Table, error) {
 	return e.runner(p)
 }
 
+// RunCtx executes the experiment with the given id under ctx. Cancellation
+// is cooperative: the runners check the context at their checkpoints — when
+// traces are requested, around each per-workload simulation, and between
+// seeds — so an abort is observed at the next checkpoint rather than
+// mid-simulation. An aborted run returns an error satisfying
+// errors.Is(err, ctx.Err()), distinguishable from validation errors, which
+// never wrap a context error. A nil ctx behaves like Run.
+func RunCtx(ctx context.Context, id string, p Params) (*Table, error) {
+	p.ctx = ctx
+	return Run(id, p)
+}
+
+// RunSeedsCtx is RunSeeds under a cancellation context; see RunCtx for the
+// checkpoint semantics.
+func RunSeedsCtx(ctx context.Context, id string, p Params, seeds []int64) (*Table, error) {
+	p.ctx = ctx
+	return RunSeeds(id, p, seeds)
+}
+
 // preloadAsync warms the trace store for one seed in the background; any
 // generation error is re-reported by the foreground Get that needs the
 // trace, so it is safe to drop here.
@@ -195,6 +243,9 @@ func RunSeeds(id string, p Params, seeds []int64) (*Table, error) {
 	}
 	tables := make([]*Table, 0, len(seeds))
 	for i, s := range seeds {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		if i+1 < len(seeds) {
 			p.preloadAsync(seeds[i+1])
 		}
@@ -218,7 +269,9 @@ func workloadGet(name string) (string, bool) {
 // forEachWorkload runs fn for every selected workload concurrently (one
 // goroutine per benchmark — each run builds its own predictors and engines,
 // so there is no shared mutable state) and appends the returned rows to t
-// in the paper's presentation order.
+// in the paper's presentation order. A canceled Params context skips any
+// workload whose goroutine has not started simulating yet and is reported
+// in preference to per-workload errors.
 func forEachWorkload(p Params, t *Table, fn func(name string, recs []trace.Rec) ([]float64, error)) error {
 	traces, err := p.traces()
 	if err != nil {
@@ -232,10 +285,17 @@ func forEachWorkload(p Params, t *Table, fn func(name string, recs []trace.Rec) 
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
+			if err := p.ctxErr(); err != nil {
+				errs[i] = err
+				return
+			}
 			rows[i], errs[i] = fn(name, traces[name])
 		}(i, name)
 	}
 	wg.Wait()
+	if err := p.ctxErr(); err != nil {
+		return err
+	}
 	for i, name := range names {
 		if errs[i] != nil {
 			return errs[i]

@@ -1,9 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
 )
 
@@ -146,5 +150,50 @@ func TestDefaultParams(t *testing.T) {
 	p := DefaultParams()
 	if p.TraceLen <= 0 || len(p.workloads()) != 8 {
 		t.Errorf("DefaultParams = %+v", p)
+	}
+}
+
+// TestRunCtxCancellation is the regression test for the cancellation path:
+// a canceled or expired context aborts a run with an error that callers can
+// tell apart from a validation failure via errors.Is, and cancellation
+// arriving mid-run (between workload checkpoints) is honoured.
+func TestRunCtxCancellation(t *testing.T) {
+	p := tiny()
+	p.Store = tracestore.New(0)
+
+	// Already-canceled context: aborted before any simulation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, "fig5.1", p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+
+	// Expired deadline: distinguishable as DeadlineExceeded.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if _, err := RunCtx(dctx, "fig5.1", p); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: err = %v, want errors.Is(err, context.DeadlineExceeded)", err)
+	}
+
+	// Validation errors never carry a context error, even under a live ctx.
+	bad := p
+	bad.TraceLen = -1
+	if _, err := RunCtx(context.Background(), "fig5.1", bad); err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("validation err = %v, want a plain validation error", err)
+	}
+
+	// A nil context behaves like Run.
+	if _, err := RunCtx(nil, "table3.1", p); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("nil ctx: %v", err)
+	}
+
+	// Mid-run cancellation: cancel while the first seed simulates; the
+	// multi-seed loop's checkpoint must abort before the second seed.
+	mctx, mcancel := context.WithCancel(context.Background())
+	mcancel()
+	if _, err := RunSeedsCtx(mctx, "fig3.3", p, []int64{1, 2, 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSeedsCtx canceled: err = %v", err)
 	}
 }

@@ -1,0 +1,79 @@
+// Package doclint enforces the repository's package-documentation
+// contract: every package under an internal/ or cmd/ directory must carry
+// a package doc comment, and the comment must open with the godoc
+// convention — "Package <name> ..." for libraries, "Command <name> ..."
+// for main packages (named after the command's directory). The doc
+// comment is the first thing a reader meets in godoc and in the source;
+// packages outside internal/ and cmd/ (fixtures, the module facade) are
+// left to taste.
+package doclint
+
+import (
+	"go/ast"
+	"path"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+)
+
+// Analyzer is the package-documentation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "doclint",
+	Doc: "require a package doc comment starting \"Package <name>\" " +
+		"(or \"Command <name>\" for main packages) on every internal/* " +
+		"and cmd/* package",
+	Run: run,
+}
+
+// inScope reports whether pkgPath lies under an internal/ or cmd/
+// directory: some strict parent segment of the import path is "internal"
+// or "cmd".
+func inScope(pkgPath string) bool {
+	segs := strings.Split(pkgPath, "/")
+	for _, s := range segs[:len(segs)-1] {
+		if s == "internal" || s == "cmd" {
+			return true
+		}
+	}
+	return false
+}
+
+// wantPrefix is the mandated opening of the package's doc comment.
+func wantPrefix(pass *analysis.Pass) string {
+	if pass.Pkg.Name() == "main" {
+		return "Command " + path.Base(pass.Pkg.Path())
+	}
+	return "Package " + pass.Pkg.Name()
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	want := wantPrefix(pass)
+	var docs []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			docs = append(docs, f)
+		}
+	}
+	if len(docs) == 0 {
+		// The loader hands files over in go list order; anchor the
+		// diagnostic on the first package clause so it has a stable home.
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package %s has no package doc comment; add one starting %q",
+			pass.Pkg.Name(), want)
+		return nil, nil
+	}
+	for _, f := range docs {
+		text := f.Doc.Text()
+		if text == want || strings.HasPrefix(text, want+" ") ||
+			strings.HasPrefix(text, want+"\n") ||
+			strings.HasPrefix(text, want+".") ||
+			strings.HasPrefix(text, want+",") {
+			continue
+		}
+		pass.Reportf(f.Doc.Pos(), "package doc comment should start %q", want)
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package doclint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/doclint"
+)
+
+func TestDoclint(t *testing.T) {
+	analysistest.Run(t, "testdata", doclint.Analyzer, "./...")
+}

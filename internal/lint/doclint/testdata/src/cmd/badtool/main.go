@@ -1,0 +1,4 @@
+// Package main uses the library convention on a command. // want `package doc comment should start "Command badtool"`
+package main
+
+func main() {}

@@ -1,0 +1,5 @@
+// Command tool is a conforming main package: its doc names the command
+// after the directory, not the package.
+package main
+
+func main() {}

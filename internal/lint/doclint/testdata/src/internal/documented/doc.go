@@ -1,0 +1,5 @@
+// Package documented carries a conforming doc comment and stays quiet.
+package documented
+
+// V exists so the package is not empty.
+var V int

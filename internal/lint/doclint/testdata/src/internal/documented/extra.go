@@ -1,0 +1,5 @@
+package documented
+
+// W lives in a second, deliberately undocumented file; the package doc in
+// doc.go covers the package.
+var W int

@@ -1,0 +1,4 @@
+package missing // want `package missing has no package doc comment`
+
+// V exists so the package is not empty.
+var V int

@@ -1,0 +1,5 @@
+// Package mispelt opens with the wrong package name. // want `package doc comment should start "Package wrongname"`
+package wrongname
+
+// V exists so the package is not empty.
+var V int

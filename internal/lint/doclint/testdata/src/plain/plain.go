@@ -1,0 +1,5 @@
+package plain
+
+// V exists so the package is not empty: plain sits outside internal/ and
+// cmd/, so doclint leaves its missing package doc alone.
+var V int

@@ -21,6 +21,7 @@ import (
 
 	"valuepred/internal/lint/analysis"
 	"valuepred/internal/lint/detlint"
+	"valuepred/internal/lint/doclint"
 	"valuepred/internal/lint/errlint"
 	"valuepred/internal/lint/keyedlint"
 	"valuepred/internal/lint/loader"
@@ -31,6 +32,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detlint.Analyzer,
+		doclint.Analyzer,
 		errlint.Analyzer,
 		keyedlint.Analyzer,
 		mutexlint.Analyzer,

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"container/list"
+
+	"valuepred/internal/stats"
+)
+
+// tableCache is a bounded LRU of completed experiment tables, keyed by the
+// canonicalized run parameters (runRequest.key). Tables are immutable once
+// a runner returns them, so entries are shared by reference and rendered
+// per request in whatever format the client asked for.
+//
+// The cache is not internally synchronized: the Server guards it with its
+// own mutex, which it already holds to consult the flight map (cache
+// lookup and coalescing are one atomic decision).
+type tableCache struct {
+	limit int
+	m     map[string]*list.Element
+	lru   *list.List // front = most recently used; values are cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	tab *stats.Table
+}
+
+// newTableCache returns a cache bounded to limit entries (limit < 1 keeps
+// exactly one entry, so the bound is always positive).
+func newTableCache(limit int) *tableCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &tableCache{
+		limit: limit,
+		m:     make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// get returns the cached table for key, refreshing its recency.
+func (c *tableCache) get(key string) (*stats.Table, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(cacheEntry).tab, true
+}
+
+// add inserts (or refreshes) key and evicts the least-recently-used
+// entries beyond the bound.
+func (c *tableCache) add(key string, tab *stats.Table) {
+	if e, ok := c.m[key]; ok {
+		e.Value = cacheEntry{key: key, tab: tab}
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.lru.PushFront(cacheEntry{key: key, tab: tab})
+	for c.lru.Len() > c.limit {
+		back := c.lru.Back()
+		delete(c.m, back.Value.(cacheEntry).key)
+		c.lru.Remove(back)
+	}
+}
+
+// len reports the current entry count.
+func (c *tableCache) len() int { return c.lru.Len() }

@@ -1,0 +1,605 @@
+// Package serve is the HTTP experiment service behind cmd/vpserve: it
+// exposes the experiment registry over a small versioned API and turns the
+// one-shot CLI pipeline into a long-lived process that can serve many
+// clients from one warm trace store.
+//
+// The paper's lesson — exploit redundancy instead of recomputing — is
+// applied at the request level:
+//
+//   - identical concurrent requests coalesce onto a single simulation
+//     (the singleflight pattern of internal/tracestore, one layer up);
+//   - completed tables land in a bounded LRU keyed by the canonicalized
+//     run parameters, so repeated requests are O(render);
+//   - load beyond a configurable number of concurrent simulations is shed
+//     with 429 + Retry-After instead of queueing without bound;
+//   - every simulation runs under a context with a configurable timeout
+//     and is aborted cooperatively through experiment.RunCtx's checkpoints.
+//
+// Served tables are byte-identical to cmd/vpsim's output for the same
+// parameters (pinned by TestServedTableMatchesVpsimRendering): the service
+// renders through the same stats.Table methods, and the determinism
+// contract (DESIGN.md §9) guarantees the table itself.
+//
+// Observability rides on internal/obs: every request increments
+// serve.requests, coalesced followers serve.coalesced, cache outcomes
+// serve.cache_hit / serve.cache_miss, and request latency lands in the
+// serve.latency_ms histogram; GET /v1/metrics renders the registry
+// snapshot. The serve package sits outside the simulation packages, so —
+// unlike them — it may read the wall clock and the recorded metrics back.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valuepred/internal/experiment"
+	"valuepred/internal/obs"
+	"valuepred/internal/stats"
+	"valuepred/internal/tracestore"
+	"valuepred/internal/workload"
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxConcurrent bounds simultaneous simulations (not requests:
+	// cache hits and coalesced followers never take a slot).
+	DefaultMaxConcurrent = 4
+	// DefaultTimeout caps one simulation, including trace generation.
+	DefaultTimeout = 2 * time.Minute
+	// DefaultCacheEntries bounds the rendered-table LRU.
+	DefaultCacheEntries = 64
+	// DefaultMaxTraceLen rejects absurd per-request trace lengths before
+	// they reach an emulator.
+	DefaultMaxTraceLen = 2_000_000
+	// DefaultMaxSeeds bounds the multi-seed averaging a single request may
+	// ask for.
+	DefaultMaxSeeds = 16
+)
+
+// Config parameterises a Server. The zero value serves with the defaults
+// above, the process-wide trace store, and a fresh metrics registry.
+type Config struct {
+	// MaxConcurrent is the simulation semaphore width; <= 0 means
+	// DefaultMaxConcurrent. Requests that would exceed it receive
+	// 429 Too Many Requests with a Retry-After header.
+	MaxConcurrent int
+	// Timeout caps one simulation run; <= 0 means DefaultTimeout. An
+	// expired run returns 504 Gateway Timeout.
+	Timeout time.Duration
+	// CacheEntries bounds the completed-table LRU; <= 0 means
+	// DefaultCacheEntries.
+	CacheEntries int
+	// MaxTraceLen rejects requests asking for longer traces; <= 0 means
+	// DefaultMaxTraceLen.
+	MaxTraceLen int
+	// MaxSeeds rejects requests averaging over more seeds; <= 0 means
+	// DefaultMaxSeeds.
+	MaxSeeds int
+	// Store overrides the trace cache consulted by the simulations
+	// (nil = tracestore.Shared()). Mainly for tests needing fresh counters.
+	Store *tracestore.Store
+	// Registry receives the serve.* metrics and the simulators'
+	// instrumentation (nil = a fresh registry). Exposed at /v1/metrics.
+	Registry *obs.Registry
+}
+
+// apiError is a structured error reply; the wire form is
+//
+//	{"error": {"code": "bad_params", "message": "..."}}
+type apiError struct {
+	status     int
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	retryAfter int    // seconds; > 0 adds a Retry-After header
+}
+
+// Error makes apiError usable as an error inside the handler plumbing.
+func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+
+// errSaturated is returned by acquire when every simulation slot is busy.
+var errSaturated = errors.New("serve: all simulation slots are busy")
+
+// flight is one in-progress simulation that coalesced requests join.
+type flight struct {
+	done  chan struct{}
+	table *stats.Table
+	err   error
+}
+
+// serveMetrics are the pre-resolved registry handles for the serve.* names.
+type serveMetrics struct {
+	requests    *obs.Counter
+	coalesced   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	simulations *obs.Counter
+	rejected    *obs.Counter
+	timeouts    *obs.Counter
+	panics      *obs.Counter
+	inflight    *obs.Gauge
+	cacheSize   *obs.Gauge
+	latency     *obs.Histogram
+}
+
+// latencyBounds bucket request latency in milliseconds: sub-millisecond
+// cache hits up to multi-minute cold simulations.
+var latencyBounds = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// Server is the HTTP experiment service. Create it with New; it implements
+// none of http.Server's lifecycle itself — mount Handler on any server and
+// call BeginDrain/Close around that server's Shutdown for a graceful exit.
+type Server struct {
+	cfg  Config
+	reg  *obs.Registry
+	sink *obs.Sink
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	cache   *tableCache
+
+	// baseCtx parents every simulation context, so the simulations outlive
+	// any single coalesced client but die together on Close.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	// run is the simulation entry point; tests substitute it to make
+	// coalescing and saturation deterministic.
+	run func(ctx context.Context, id string, rr runRequest) (*stats.Table, error)
+
+	m serveMetrics
+}
+
+// New returns a Server for cfg. The trace store in use is instrumented
+// into the server's registry (tracestore.* counters appear in /v1/metrics).
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.MaxTraceLen <= 0 {
+		cfg.MaxTraceLen = DefaultMaxTraceLen
+	}
+	if cfg.MaxSeeds <= 0 {
+		cfg.MaxSeeds = DefaultMaxSeeds
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		sink:       obs.New(reg, nil),
+		mux:        http.NewServeMux(),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		flights:    make(map[string]*flight),
+		cache:      newTableCache(cfg.CacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		m: serveMetrics{
+			requests:    reg.Counter("serve.requests"),
+			coalesced:   reg.Counter("serve.coalesced"),
+			cacheHits:   reg.Counter("serve.cache_hit"),
+			cacheMisses: reg.Counter("serve.cache_miss"),
+			simulations: reg.Counter("serve.simulations"),
+			rejected:    reg.Counter("serve.rejected"),
+			timeouts:    reg.Counter("serve.timeouts"),
+			panics:      reg.Counter("serve.panics"),
+			inflight:    reg.Gauge("serve.inflight"),
+			cacheSize:   reg.Gauge("serve.cache_entries"),
+			latency:     reg.Histogram("serve.latency_ms", latencyBounds),
+		},
+	}
+	s.run = s.simulate
+	s.store().Instrument(reg)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) store() *tracestore.Store {
+	if s.cfg.Store != nil {
+		return s.cfg.Store
+	}
+	return tracestore.Shared()
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the service's root handler: the API mux wrapped in the
+// panic-recovery and request-metrics middleware.
+func (s *Server) Handler() http.Handler { return s.instrumented(s.mux) }
+
+// BeginDrain flips the server into draining mode: /healthz starts failing
+// (so load balancers stop routing here) and new simulations are refused
+// with 503, while requests already in flight — including their coalesced
+// followers — run to completion. Call it right before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close aborts every in-flight simulation by canceling their shared parent
+// context. Use it after a drain deadline expires; a graceful exit never
+// needs it.
+func (s *Server) Close() { s.baseCancel() }
+
+// --- middleware ---
+
+// statusRecorder captures the response code for the per-status counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code, r.wrote = code, true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// instrumented wraps next with panic recovery, the request counter, the
+// latency histogram and per-status-code counters.
+func (s *Server) instrumented(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Inc()
+				if !rec.wrote {
+					writeError(rec, &apiError{
+						status:  http.StatusInternalServerError,
+						Code:    "panic",
+						Message: fmt.Sprint(p),
+					})
+				}
+			}
+			s.m.latency.Observe(float64(time.Since(start).Milliseconds()))
+			s.reg.Counter(fmt.Sprintf("serve.status.%d", rec.code)).Inc()
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// experimentInfo is one entry of the /v1/experiments listing.
+type experimentInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var list []experimentInfo
+	for _, id := range experiment.IDs() {
+		desc, _ := experiment.Describe(id)
+		list = append(list, experimentInfo{ID: id, Description: desc})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := snap.WriteText(w); err != nil {
+		return // client went away mid-write; nothing useful left to do
+	}
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiment.Describe(id); !ok {
+		writeError(w, &apiError{
+			status:  http.StatusNotFound,
+			Code:    "unknown_experiment",
+			Message: fmt.Sprintf("unknown experiment %q; list them at /v1/experiments", id),
+		})
+		return
+	}
+	rr, apiErr := parseRunRequest(r, s.cfg)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	tab, source, err := s.table(r.Context(), id, rr)
+	if err != nil {
+		writeError(w, s.classify(err))
+		return
+	}
+	w.Header().Set("X-Cache", source)
+	renderTable(w, tab, rr.Format)
+}
+
+// classify maps a simulation error onto the API error space.
+func (s *Server) classify(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, errSaturated):
+		s.m.rejected.Inc()
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			Code:       "saturated",
+			Message:    fmt.Sprintf("all %d simulation slots are busy; retry shortly", s.cfg.MaxConcurrent),
+			retryAfter: 1,
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.timeouts.Inc()
+		return &apiError{
+			status:  http.StatusGatewayTimeout,
+			Code:    "timeout",
+			Message: fmt.Sprintf("simulation exceeded the %s server timeout; request a shorter tracelen or fewer workloads", s.cfg.Timeout),
+		}
+	case errors.Is(err, context.Canceled):
+		return &apiError{
+			status:  http.StatusServiceUnavailable,
+			Code:    "canceled",
+			Message: "simulation was canceled (server shutting down or client gone)",
+		}
+	default:
+		return &apiError{
+			status:  http.StatusInternalServerError,
+			Code:    "internal",
+			Message: err.Error(),
+		}
+	}
+}
+
+// table returns the experiment table for (id, rr), serving it — in order of
+// preference — from the completed-table LRU, by coalescing onto an
+// identical in-flight simulation, or by running the simulation under the
+// server's semaphore and timeout.
+func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats.Table, string, error) {
+	key := rr.key(id)
+	s.mu.Lock()
+	if t, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.m.cacheHits.Inc()
+		return t, "hit", nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.m.coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.table, "coalesced", f.err
+		case <-reqCtx.Done():
+			// This client gave up; the leader keeps simulating for the rest.
+			return nil, "", reqCtx.Err()
+		}
+	}
+	if s.Draining() {
+		s.mu.Unlock()
+		return nil, "", &apiError{
+			status:  http.StatusServiceUnavailable,
+			Code:    "draining",
+			Message: "server is draining; no new simulations are accepted",
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		return nil, "", errSaturated
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+	s.m.cacheMisses.Inc()
+	s.m.simulations.Inc()
+	s.m.inflight.Add(1)
+
+	// The simulation context descends from the server, not this request:
+	// coalesced followers must not die with the leader's connection, and
+	// BeginDrain lets it finish while Close aborts it.
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+	f.table, f.err = s.run(ctx, id, rr)
+	cancel()
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.cache.add(key, f.table)
+	}
+	s.m.cacheSize.Set(int64(s.cache.len()))
+	s.mu.Unlock()
+	s.m.inflight.Add(-1)
+	<-s.sem
+	close(f.done)
+	return f.table, "miss", f.err
+}
+
+// simulate is the production run function: the experiment runners with the
+// request's parameters, the server's trace store and its metrics sink.
+func (s *Server) simulate(ctx context.Context, id string, rr runRequest) (*stats.Table, error) {
+	p := experiment.Params{
+		Seed:      rr.Seed,
+		TraceLen:  rr.TraceLen,
+		Workloads: rr.Workloads,
+		Store:     s.cfg.Store,
+		Obs:       s.sink,
+	}
+	if rr.Seeds > 1 {
+		seeds := make([]int64, rr.Seeds)
+		for i := range seeds {
+			seeds[i] = rr.Seed + int64(i)
+		}
+		return experiment.RunSeedsCtx(ctx, id, p, seeds)
+	}
+	return experiment.RunCtx(ctx, id, p)
+}
+
+// --- request parsing and canonicalization ---
+
+// runRequest is the canonicalized form of one experiment request: defaults
+// are filled in, workload names are trimmed, and the empty workload set is
+// expanded to all eight benchmarks, so that every equivalent query string
+// maps to the same coalescing/cache key.
+type runRequest struct {
+	Seed      int64
+	TraceLen  int
+	Seeds     int
+	Workloads []string
+	Format    string
+}
+
+// key is the coalescing and cache key: the canonical parameters, excluding
+// the output format (all formats render from the same table).
+func (rr runRequest) key(id string) string {
+	return fmt.Sprintf("%s|seed=%d|len=%d|seeds=%d|wl=%s",
+		id, rr.Seed, rr.TraceLen, rr.Seeds, strings.Join(rr.Workloads, ","))
+}
+
+// formats are the supported render formats, matching vpsim's output flags.
+var formats = map[string]bool{"text": true, "csv": true, "md": true, "chart": true, "json": true}
+
+// parseRunRequest validates and canonicalizes the query parameters.
+func parseRunRequest(r *http.Request, cfg Config) (runRequest, *apiError) {
+	q := r.URL.Query()
+	bad := func(format string, args ...any) (runRequest, *apiError) {
+		return runRequest{}, &apiError{
+			status:  http.StatusBadRequest,
+			Code:    "bad_params",
+			Message: fmt.Sprintf(format, args...),
+		}
+	}
+	rr := runRequest{Seed: 1, TraceLen: 200_000, Seeds: 1, Format: "text"}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return bad("seed %q is not an integer", v)
+		}
+		rr.Seed = n
+	}
+	if v := q.Get("tracelen"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return bad("tracelen %q is not an integer", v)
+		}
+		rr.TraceLen = n
+	}
+	if rr.TraceLen <= 0 || rr.TraceLen > cfg.MaxTraceLen {
+		return bad("tracelen must be in [1, %d], have %d", cfg.MaxTraceLen, rr.TraceLen)
+	}
+	if v := q.Get("seeds"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return bad("seeds %q is not an integer", v)
+		}
+		rr.Seeds = n
+	}
+	if rr.Seeds < 1 || rr.Seeds > cfg.MaxSeeds {
+		return bad("seeds must be in [1, %d], have %d", cfg.MaxSeeds, rr.Seeds)
+	}
+	if v := q.Get("workloads"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := workload.Get(name); !ok {
+				return bad("unknown workload %q (have %s)", name, strings.Join(workload.Names(), ", "))
+			}
+			rr.Workloads = append(rr.Workloads, name)
+		}
+	}
+	if len(rr.Workloads) == 0 {
+		rr.Workloads = workload.Names()
+	}
+	if v := q.Get("format"); v != "" {
+		if !formats[v] {
+			return bad("unknown format %q (have text, csv, md, chart, json)", v)
+		}
+		rr.Format = v
+	}
+	return rr, nil
+}
+
+// --- rendering ---
+
+// renderTable writes tab in the requested format. The text, csv, md and
+// chart formats are byte-identical to vpsim's -o output for the same
+// parameters; json marshals the stats.Table struct.
+func renderTable(w http.ResponseWriter, tab *stats.Table, format string) {
+	var err error
+	switch format {
+	case "json":
+		writeJSON(w, http.StatusOK, tab)
+		return
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = tab.RenderCSV(w)
+	case "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		err = tab.RenderMarkdown(w)
+	case "chart":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = tab.RenderChart(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = tab.Render(w)
+	}
+	if err != nil {
+		return // headers are out; a render error here means the client left
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return // client went away mid-write
+	}
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeJSON(w, e.status, map[string]*apiError{"error": e})
+}

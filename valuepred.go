@@ -14,6 +14,7 @@
 package valuepred
 
 import (
+	"context"
 	"fmt"
 
 	"valuepred/internal/btb"
@@ -377,6 +378,29 @@ func RunExperiment(id string, p Params) (*Table, error) {
 // traces are generated in the background.
 func RunExperimentSeeds(id string, p Params, seeds []int64) (*Table, error) {
 	t, err := experiment.RunSeeds(id, p, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return t, nil
+}
+
+// RunExperimentCtx is RunExperiment under a context: the run aborts
+// cooperatively at its checkpoints (trace fetch, workload start, between
+// seeds) once ctx is canceled, and the returned error then satisfies
+// errors.Is(err, ctx.Err()). Validation failures are never dressed up as
+// context errors, so the two remain distinguishable.
+func RunExperimentCtx(ctx context.Context, id string, p Params) (*Table, error) {
+	t, err := experiment.RunCtx(ctx, id, p)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return t, nil
+}
+
+// RunExperimentSeedsCtx is RunExperimentSeeds under a context, with the
+// same cancellation semantics as RunExperimentCtx.
+func RunExperimentSeedsCtx(ctx context.Context, id string, p Params, seeds []int64) (*Table, error) {
+	t, err := experiment.RunSeedsCtx(ctx, id, p, seeds)
 	if err != nil {
 		return nil, fmt.Errorf("valuepred: %w", err)
 	}
