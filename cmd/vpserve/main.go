@@ -66,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: the usage text has been printed; exit 0
+		}
 		return err
 	}
 	if fs.NArg() > 0 {

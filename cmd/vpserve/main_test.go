@@ -118,3 +118,15 @@ func TestBadFlags(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestHelpExitsZero pins that -h prints the usage text and run returns nil
+// (exit 0), not the flag.ErrHelp error.
+func TestHelpExitsZero(t *testing.T) {
+	var errBuf syncBuffer
+	if err := run([]string{"-h"}, io.Discard, &errBuf, nil, nil); err != nil {
+		t.Errorf("run(-h) = %v, want nil", err)
+	}
+	if !strings.Contains(errBuf.String(), "-max-concurrent") {
+		t.Errorf("-h printed no usage text; stderr: %q", errBuf.String())
+	}
+}

@@ -222,11 +222,24 @@ func RunSeedsCtx(ctx context.Context, id string, p Params, seeds []int64) (*Tabl
 
 // preloadAsync warms the trace store for one seed in the background; any
 // generation error is re-reported by the foreground Get that needs the
-// trace, so it is safe to drop here.
+// trace, so it is safe to drop here. A canceled run launches nothing: the
+// context is checked both before spawning and again inside the goroutine
+// (a cancel can land between the two), so an aborted RunSeeds does not
+// burn an emulator on a trace nobody will read. The check is best-effort —
+// a cancel arriving after generation starts cannot stop it, because the
+// emulators themselves are context-free by design (DESIGN.md §9).
 func (p Params) preloadAsync(seed int64) {
+	if p.ctxErr() != nil {
+		return
+	}
 	st := p.store()
 	names := p.workloads()
-	go st.Preload(names, seed, p.TraceLen) //vplint:ignore errlint any generation error is re-reported by the foreground Get
+	go func() {
+		if p.ctxErr() != nil {
+			return
+		}
+		st.Preload(names, seed, p.TraceLen) //vplint:ignore errlint any generation error is re-reported by the foreground Get
+	}()
 }
 
 // RunSeeds executes the experiment once per seed and returns the

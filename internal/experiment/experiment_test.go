@@ -197,3 +197,34 @@ func TestRunCtxCancellation(t *testing.T) {
 		t.Fatalf("RunSeedsCtx canceled: err = %v", err)
 	}
 }
+
+// TestPreloadAsyncSkipsCanceled is the regression test for background
+// preloads outliving an aborted run: once the run's context is canceled,
+// preloadAsync must not hand the trace store a generation that nothing
+// will ever read.
+func TestPreloadAsyncSkipsCanceled(t *testing.T) {
+	p := tiny()
+	p.Store = tracestore.New(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.ctx = ctx
+
+	p.preloadAsync(99)
+	// The skip is synchronous (no goroutine is spawned for a canceled run),
+	// so the store must stay untouched immediately and stay that way.
+	time.Sleep(10 * time.Millisecond)
+	if st := p.Store.Stats(); st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("canceled preload touched the store: %+v", st)
+	}
+
+	// Sanity check: with a live context the same preload does warm the store.
+	p.ctx = context.Background()
+	p.preloadAsync(99)
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Store.Stats().Entries < len(p.workloads()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("live preload never warmed the store: %+v", p.Store.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

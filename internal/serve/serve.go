@@ -435,9 +435,28 @@ func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats
 	// The simulation context descends from the server, not this request:
 	// coalesced followers must not die with the leader's connection, and
 	// BeginDrain lets it finish while Close aborts it.
-	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
-	f.table, f.err = s.run(ctx, id, rr)
-	cancel()
+	//
+	// The run is wrapped so a panicking simulation settles the flight as a
+	// structured error instead of unwinding past the cleanup below. The
+	// middleware's recover writes the leader's 500 but cannot restore server
+	// state: without this recover, one panic would leak a semaphore slot
+	// forever, keep serve.inflight inflated, and park every coalesced
+	// follower on a flight whose done channel never closes.
+	func() {
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+		defer cancel()
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Inc()
+				f.table, f.err = nil, &apiError{
+					status:  http.StatusInternalServerError,
+					Code:    "panic",
+					Message: fmt.Sprint(p),
+				}
+			}
+		}()
+		f.table, f.err = s.run(ctx, id, rr)
+	}()
 
 	s.mu.Lock()
 	delete(s.flights, key)

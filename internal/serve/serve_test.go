@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -368,6 +369,93 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	if got := counter(s, "serve.panics"); got != 1 {
 		t.Errorf("panics = %d, want 1", got)
+	}
+}
+
+// TestPanicReleasesSlot is the regression test for panic cleanup: a
+// panicking simulation must settle its flight and release its semaphore
+// slot, so that with MaxConcurrent=1 a later request for a different key
+// is not shed with 429 and a retry of the panicked key re-simulates
+// instead of parking on a dead flight.
+func TestPanicReleasesSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	inner := s.run
+	var calls atomic.Int32
+	s.run = func(ctx context.Context, id string, rr runRequest) (*stats.Table, error) {
+		if calls.Add(1) == 1 {
+			panic("simulated simulation bug")
+		}
+		return inner(ctx, id, rr)
+	}
+
+	status, _, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+	if status != http.StatusInternalServerError || errorCode(t, body) != "panic" {
+		t.Fatalf("panicked request: status = %d, body = %s", status, body)
+	}
+	if got := counter(s, "serve.panics"); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+
+	// The single slot must be free again: a different key simulates (200),
+	// not 429.
+	if status, _, body := get(t, ts, "/v1/experiments/table3.1"+tinyQuery); status != http.StatusOK {
+		t.Errorf("request after panic: status = %d, want 200; body: %s", status, body)
+	}
+	// The panicked flight must be gone and its table uncached: a retry of
+	// the same key re-runs the simulation rather than coalescing or hanging.
+	status, hdr, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Errorf("retry of panicked key: status = %d, X-Cache = %q, body: %s",
+			status, hdr.Get("X-Cache"), body)
+	}
+}
+
+// TestPanicSettlesCoalescedFollowers pins that a follower coalesced onto a
+// flight whose leader panics is woken with the structured panic error
+// rather than blocking until its client gives up.
+func TestPanicSettlesCoalescedFollowers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.run = func(ctx context.Context, id string, rr runRequest) (*stats.Table, error) {
+		close(started)
+		<-release
+		panic("leader died mid-simulation")
+	}
+
+	type result struct {
+		status int
+		body   string
+	}
+	follower := make(chan result, 1)
+	leader := make(chan result, 1)
+	go func() {
+		status, _, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+		leader <- result{status, body}
+	}()
+	<-started
+	go func() {
+		status, _, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+		follower <- result{status, body}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for counter(s, "serve.coalesced") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for name, ch := range map[string]chan result{"leader": leader, "follower": follower} {
+		select {
+		case res := <-ch:
+			if res.status != http.StatusInternalServerError || errorCode(t, res.body) != "panic" {
+				t.Errorf("%s: status = %d, body = %s", name, res.status, res.body)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s still blocked 10s after the leader panicked", name)
+		}
 	}
 }
 
