@@ -26,12 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs every benchmark and writes the parsed report — ns/op plus the
-# simulated-instructions-per-second metric each benchmark reports — to
-# BENCH_pr3.json via cmd/benchjson. The raw `go test -bench` text still
-# reaches the terminal.
+# bench runs every benchmark and writes the parsed report — ns/op, the
+# simulated-instructions-per-second metric each benchmark reports, and the
+# derived workers=1 vs workers=max speedup of the execution engine — to
+# BENCH_pr5.json via cmd/benchjson (BENCH_pr3.json is the committed PR 3
+# baseline). The raw `go test -bench` text still reaches the terminal.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_pr5.json
 
 # bench-smoke is the CI variant: a single iteration of the core simulator
 # benchmarks, piped through benchjson so the parser is exercised end to end,

@@ -3,11 +3,13 @@ package valuepred
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
 	"valuepred/internal/emu"
+	"valuepred/internal/experiment"
 	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
 )
@@ -101,6 +103,39 @@ func BenchmarkFig53(b *testing.B) { benchExperiment(b, "fig5.3") }
 // BenchmarkSec4Router regenerates the Section 4 router/distributor
 // statistics.
 func BenchmarkSec4Router(b *testing.B) { benchExperiment(b, "sec4") }
+
+// BenchmarkFig31Workers measures the execution engine's parallel payoff:
+// the same fig3.1 grid once at pool width 1 (the serial baseline) and once
+// at GOMAXPROCS. The rendered tables are byte-identical at every width
+// (workers_test.go pins that), so the only things allowed to move are the
+// wall clock and the cells/s throughput metric. cmd/benchjson pairs the
+// two sub-benchmarks into a derived workers_speedup entry; on a
+// single-core machine both widths report the same number and the speedup
+// is ~1.
+func BenchmarkFig31Workers(b *testing.B) {
+	p := benchParams()
+	// Every (workload, width) point is a base cell plus a vp cell.
+	cells := float64(len(workload.Names()) * len(experiment.Fig31Widths) * 2)
+	widths := []struct {
+		name string
+		n    int
+	}{
+		{"workers=1", 1},
+		{"workers=max", runtime.GOMAXPROCS(0)}, // stable sub-name so reports pair across machines
+	}
+	for _, w := range widths {
+		b.Run(w.name, func(b *testing.B) {
+			prev := SetWorkers(w.n)
+			defer SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunExperiment("fig3.1", p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
 
 // --- ablation benchmarks (design choices called out in DESIGN.md) ---
 

@@ -15,6 +15,12 @@
 // entries keep input order, so the report is deterministic for a given
 // benchmark run.
 //
+// Sub-benchmarks named "<base>/workers=1" and "<base>/workers=<w>" (the
+// execution-engine pool-width sweep, e.g. BenchmarkFig31Workers) are
+// additionally paired into a derived workers_speedup section reporting
+// serial over parallel ns/op — the wall-clock payoff of the plan runner
+// on the machine that ran the benchmarks.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem | go run ./cmd/benchjson -o BENCH_pr3.json
@@ -40,12 +46,24 @@ type Bench struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Speedup is a derived entry pairing a benchmark's workers=1 sub-run with
+// its widest workers=* sibling: the wall-clock payoff of the parallel
+// execution engine on this machine.
+type Speedup struct {
+	Benchmark    string  `json:"benchmark"`
+	SerialNsOp   float64 `json:"serial_ns_per_op"`
+	ParallelName string  `json:"parallel_name"`
+	ParallelNsOp float64 `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
 // Report is the full bench report written to the -o file.
 type Report struct {
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	Benchmarks []Bench `json:"benchmarks"`
+	GoVersion      string    `json:"go_version"`
+	GOOS           string    `json:"goos"`
+	GOARCH         string    `json:"goarch"`
+	Benchmarks     []Bench   `json:"benchmarks"`
+	WorkersSpeedup []Speedup `json:"workers_speedup,omitempty"`
 }
 
 func main() {
@@ -79,6 +97,7 @@ func run(in io.Reader, echo io.Writer, outPath string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
+	rep.WorkersSpeedup = deriveSpeedups(rep.Benchmarks)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -89,6 +108,38 @@ func run(in io.Reader, echo io.Writer, outPath string) error {
 		return err
 	}
 	return os.WriteFile(outPath, data, 0o644)
+}
+
+// deriveSpeedups pairs every "<base>/workers=1" entry with its
+// "<base>/workers=*" siblings and reports serial ns/op over parallel
+// ns/op for each pair, in input order. Benchmarks without a workers=1
+// baseline contribute nothing.
+func deriveSpeedups(benches []Bench) []Speedup {
+	serial := make(map[string]float64) // base name -> workers=1 ns/op
+	for _, b := range benches {
+		if base, ok := strings.CutSuffix(b.Name, "/workers=1"); ok {
+			serial[base] = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, b := range benches {
+		base, rest, ok := strings.Cut(b.Name, "/workers=")
+		if !ok || rest == "1" {
+			continue
+		}
+		ns1, ok := serial[base]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Benchmark:    base,
+			SerialNsOp:   ns1,
+			ParallelName: "workers=" + rest,
+			ParallelNsOp: b.NsPerOp,
+			Speedup:      ns1 / b.NsPerOp,
+		})
+	}
+	return out
 }
 
 // parseLine parses one `go test -bench` result line. Lines that are not

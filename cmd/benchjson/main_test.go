@@ -15,6 +15,8 @@ cpu: AMD EPYC 7B13
 BenchmarkPipeline-8          	       3	 387654321 ns/op	        25.80 Minst/s	     120 B/op	       2 allocs/op
 BenchmarkTraceStore-16       	    1000	   1234567 ns/op	        81.00 Minst/s
 BenchmarkStridePredictor     	 5000000	       251.0 ns/op
+BenchmarkFig31Workers/workers=1-8   	       2	 800000000 ns/op	        50.00 cells/s
+BenchmarkFig31Workers/workers=max-8 	       2	 200000000 ns/op	       200.00 cells/s
 PASS
 ok  	valuepred	12.345s
 `
@@ -58,8 +60,8 @@ func TestRunWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("want 3 benchmarks, got %+v", rep.Benchmarks)
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("want 5 benchmarks, got %+v", rep.Benchmarks)
 	}
 	if rep.Benchmarks[0].Name != "BenchmarkPipeline" || rep.Benchmarks[0].Metrics["Minst/s"] != 25.8 {
 		t.Errorf("first entry: %+v", rep.Benchmarks[0])
@@ -69,6 +71,32 @@ func TestRunWritesReport(t *testing.T) {
 	}
 	if rep.GOOS == "" || rep.GoVersion == "" {
 		t.Errorf("environment fields missing: %+v", rep)
+	}
+	if len(rep.WorkersSpeedup) != 1 {
+		t.Fatalf("want 1 derived speedup, got %+v", rep.WorkersSpeedup)
+	}
+	sp := rep.WorkersSpeedup[0]
+	if sp.Benchmark != "BenchmarkFig31Workers" || sp.ParallelName != "workers=max" || sp.Speedup != 4 {
+		t.Errorf("derived speedup: %+v", sp)
+	}
+}
+
+func TestDeriveSpeedups(t *testing.T) {
+	out := deriveSpeedups([]Bench{
+		{Name: "BenchmarkA/workers=1", NsPerOp: 900},
+		{Name: "BenchmarkA/workers=max", NsPerOp: 300},
+		{Name: "BenchmarkA/workers=2", NsPerOp: 450},
+		{Name: "BenchmarkB/workers=max", NsPerOp: 100}, // no serial baseline: skipped
+		{Name: "BenchmarkC", NsPerOp: 7},               // not a workers sweep: skipped
+	})
+	if len(out) != 2 {
+		t.Fatalf("want 2 speedups, got %+v", out)
+	}
+	if out[0].Speedup != 3 || out[0].ParallelName != "workers=max" {
+		t.Errorf("first: %+v", out[0])
+	}
+	if out[1].Speedup != 2 || out[1].ParallelName != "workers=2" {
+		t.Errorf("second: %+v", out[1])
 	}
 }
 

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	vpserve [-addr 127.0.0.1:8080] [-max-concurrent 4] [-timeout 2m]
-//	        [-cache 64] [-max-tracelen 2000000] [-max-seeds 16]
-//	        [-drain-timeout 30s]
+//	vpserve [-addr 127.0.0.1:8080] [-max-concurrent 4] [-workers 0]
+//	        [-timeout 2m] [-cache 64] [-max-tracelen 2000000]
+//	        [-max-seeds 16] [-drain-timeout 30s]
 //
 // Endpoints (see DESIGN.md §11 and the README "Serving" walkthrough):
 //
@@ -18,7 +18,11 @@
 //
 // Identical concurrent requests coalesce onto one simulation, completed
 // tables are cached in a bounded LRU, saturation is shed with 429 +
-// Retry-After, and slow runs end in 504 at -timeout. On SIGTERM or SIGINT
+// Retry-After, and slow runs end in 504 at -timeout. Two knobs bound the
+// service's parallelism independently: -max-concurrent admits requests,
+// while -workers sets the width of the process-global simulation pool
+// every admitted experiment's cells share (default GOMAXPROCS), so total
+// CPU use is never requests × workloads. On SIGTERM or SIGINT
 // the server drains: the health check starts failing, new simulations are
 // refused, in-flight requests complete (up to -drain-timeout), then the
 // process exits; a second deadline overrun aborts the remaining
@@ -38,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"valuepred"
 	"valuepred/internal/serve"
 )
 
@@ -64,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		maxTraceLen   = fs.Int("max-tracelen", serve.DefaultMaxTraceLen, "largest per-request tracelen accepted")
 		maxSeeds      = fs.Int("max-seeds", serve.DefaultMaxSeeds, "largest per-request seeds accepted")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+		workers       = fs.Int("workers", 0, "simulation worker-pool width shared by all requests (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	prevWorkers := valuepred.SetWorkers(*workers)
+	defer valuepred.SetWorkers(prevWorkers)
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,

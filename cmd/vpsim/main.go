@@ -4,9 +4,14 @@
 //
 //	vpsim -list
 //	vpsim -experiment fig3.1 [-seed 1] [-seeds 5] [-len 200000] [-workloads go,gcc]
-//	      [-csv|-md|-chart] [-o out.txt]
+//	      [-workers 8] [-csv|-md|-chart] [-o out.txt]
 //	vpsim -all [-preload] [-cachestats]
 //	vpsim -experiment fig5.1 -metrics -trace-out run.json -manifest run-manifest.json
+//
+// Experiments execute as grids of independent simulation cells on a
+// process-global bounded worker pool; -workers sets the pool's width
+// (default GOMAXPROCS). The width changes wall-clock time only — every
+// table renders byte-identically at any -workers value.
 //
 // Traces are served from a process-wide cache, so -all and -seeds N emulate
 // each (workload, seed) pair only once. -preload warms the cache for every
@@ -65,10 +70,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceSample = fs.Int("trace-sample", 64, "cycles between tracer counter samples (with -trace-out)")
 		manifestOut = fs.String("manifest", "", "write a JSON run manifest to this file")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		workers     = fs.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); tables are byte-identical at any width")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	prevWorkers := valuepred.SetWorkers(*workers)
+	defer valuepred.SetWorkers(prevWorkers)
 
 	if *list {
 		for _, e := range valuepred.Experiments() {
@@ -200,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		manifest.Seed = *seed
 		manifest.Seeds = *seeds
 		manifest.TraceLen = *traceLen
+		manifest.Workers = valuepred.Workers()
 		manifest.Finish(reg)
 		f, err := os.Create(*manifestOut)
 		if err != nil {

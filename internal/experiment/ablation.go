@@ -21,7 +21,9 @@ var AblationBankCounts = []int{1, 2, 4, 8, 16}
 
 // AblationBanks sweeps the number of banks in the prediction network on the
 // trace-cache machine: fewer banks mean more router denials and a smaller
-// value-prediction speedup.
+// value-prediction speedup. One base cell plus one vp cell per bank count
+// per workload; speedups are computed at the keyed merge against the
+// workload's shared base run.
 func AblationBanks(p Params) (*Table, error) {
 	traces, err := p.traces()
 	if err != nil {
@@ -35,22 +37,32 @@ func AblationBanks(p Params) (*Table, error) {
 	for _, b := range AblationBankCounts {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d banks", b))
 	}
+	g := p.newGrid("ablation.banks")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		})
+		for _, banks := range AblationBankCounts {
+			col := fmt.Sprintf("%d banks", banks)
+			g.cell(name, col, "vp", func() (any, error) {
+				netCfg := core.DefaultConfig()
+				netCfg.Banks = banks
+				cfg := pipeline.DefaultConfig()
+				cfg.Network = core.MustNew(netCfg)
+				return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			})
 		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(pipeline.Result)
 		var cells []float64
 		for _, banks := range AblationBankCounts {
-			netCfg := core.DefaultConfig()
-			netCfg.Banks = banks
-			cfg := pipeline.DefaultConfig()
-			cfg.Network = core.MustNew(netCfg)
-			vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
-			if err != nil {
-				return nil, err
-			}
+			vp := res.get(name, fmt.Sprintf("%d banks", banks), "vp").(pipeline.Result)
 			cells = append(cells, pipeline.Speedup(base, vp))
 		}
 		t.AddRow(name, cells...)
@@ -63,7 +75,9 @@ func AblationBanks(p Params) (*Table, error) {
 // on the trace-cache machine: the classified stride table, a hybrid
 // (last-value + small stride table) without hints, and the hybrid steered
 // by profiling-derived opcode hints, which also unloads the router
-// (Section 4.2).
+// (Section 4.2). Each variant cell owns its network and profiles its own
+// hints (profiling is deterministic, so recomputing inside the cell keeps
+// cells self-contained without perturbing results).
 func AblationHybrid(p Params) (*Table, error) {
 	traces, err := p.traces()
 	if err != nil {
@@ -74,40 +88,58 @@ func AblationHybrid(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"stride", "hybrid", "hybrid+hints", "denied% stride", "denied% hints"},
 	}
+	type vpOut struct {
+		res   pipeline.Result
+		stats core.Stats
+	}
+	variants := []string{"stride", "hybrid", "hybrid+hints"}
+	g := p.newGrid("ablation.hybrid")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+		})
+		for _, v := range variants {
+			g.cell(name, "", v, func() (any, error) {
+				var pred predictor.Predictor
+				var hints predictor.Hints
+				switch v {
+				case "stride":
+					pred = predictor.NewClassifiedStride()
+				case "hybrid":
+					pred = predictor.NewHybrid(1024, nil)
+				case "hybrid+hints":
+					// Profile the first quarter of the trace for hints.
+					hints = predictor.Profile(recs[:len(recs)/4], 0.6)
+					pred = predictor.NewHybrid(1024, hints)
+				}
+				netCfg := core.Config{Banks: 4, PortsPerBank: 1, Predictor: pred, Hints: hints}
+				net, err := core.NewNetwork(netCfg)
+				if err != nil {
+					return nil, err
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Network = net
+				res, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+				if err != nil {
+					return nil, err
+				}
+				return vpOut{res: res, stats: net.Stats()}, nil
+			})
 		}
-		// Profile the first quarter of the trace for hints.
-		hints := predictor.Profile(recs[:len(recs)/4], 0.6)
-
-		type variant struct {
-			pred  predictor.Predictor
-			hints predictor.Hints
-		}
-		variants := []variant{
-			{pred: predictor.NewClassifiedStride()},
-			{pred: predictor.NewHybrid(1024, nil)},
-			{pred: predictor.NewHybrid(1024, hints), hints: hints},
-		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(pipeline.Result)
 		var cells []float64
 		var denied []float64
 		for _, v := range variants {
-			netCfg := core.Config{Banks: 4, PortsPerBank: 1, Predictor: v.pred, Hints: v.hints}
-			net, err := core.NewNetwork(netCfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Network = net
-			vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, pipeline.Speedup(base, vp))
-			s := net.Stats()
+			out := res.get(name, "", v).(vpOut)
+			cells = append(cells, pipeline.Speedup(base, out.res))
+			s := out.stats
 			denied = append(denied, 100*float64(s.Denied+s.MergedDenied)/float64(max64(s.Requests, 1)))
 		}
 		t.AddRow(name, cells[0], cells[1], cells[2], denied[0], denied[2])
@@ -136,22 +168,34 @@ func AblationWindow(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"sched-window speedup", "ROB speedup", "sched base IPC", "ROB base IPC"},
 	}
+	cols := []string{"sched", "rob"}
+	g := p.newGrid("ablation.window")
 	for _, name := range p.workloads() {
 		recs := traces[name]
+		for hi, hold := range []bool{false, true} {
+			col := cols[hi]
+			g.cell(name, col, "base", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.HoldUntilCommit = hold
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
+			})
+			g.cell(name, col, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.HoldUntilCommit = hold
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var speedups, ipcs []float64
-		for _, hold := range []bool{false, true} {
-			cfg := pipeline.DefaultConfig()
-			cfg.HoldUntilCommit = hold
-			base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfgVP := cfg
-			cfgVP.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfgVP)
-			if err != nil {
-				return nil, err
-			}
+		for _, col := range cols {
+			base := res.get(name, col, "base").(pipeline.Result)
+			vp := res.get(name, col, "vp").(pipeline.Result)
 			speedups = append(speedups, pipeline.Speedup(base, vp))
 			ipcs = append(ipcs, base.IPC())
 		}
@@ -178,21 +222,31 @@ func AblationVPenalty(p Params) (*Table, error) {
 	for _, pen := range penalties {
 		t.Columns = append(t.Columns, fmt.Sprintf("+%d cycles", pen))
 	}
+	g := p.newGrid("ablation.vpenalty")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+		})
+		for _, pen := range penalties {
+			col := fmt.Sprintf("+%d cycles", pen)
+			g.cell(name, col, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.ValuePenalty = pen
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			})
 		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(pipeline.Result)
 		var cells []float64
 		for _, pen := range penalties {
-			cfg := pipeline.DefaultConfig()
-			cfg.ValuePenalty = pen
-			cfg.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
-			if err != nil {
-				return nil, err
-			}
+			vp := res.get(name, fmt.Sprintf("+%d cycles", pen), "vp").(pipeline.Result)
 			cells = append(cells, pipeline.Speedup(base, vp))
 		}
 		t.AddRow(name, cells...)

@@ -44,20 +44,29 @@ func AblationPredictor(p Params) (*Table, error) {
 	for _, v := range variants {
 		t.Columns = append(t.Columns, v.name)
 	}
+	g := p.newGrid("ablation.predictor")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		})
+		for _, v := range variants {
+			g.cell(name, v.name, "vp", func() (any, error) {
+				cfg := ideal.DefaultConfig(16)
+				cfg.Predictor = v.mk(recs)
+				return ideal.Run(trace.NewSliceSource(recs), cfg)
+			})
 		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(ideal.Result)
 		var cells []float64
 		for _, v := range variants {
-			cfg := ideal.DefaultConfig(16)
-			cfg.Predictor = v.mk(recs)
-			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
+			vp := res.get(name, v.name, "vp").(ideal.Result)
 			cells = append(cells, ideal.Speedup(base, vp))
 		}
 		t.AddRow(name, cells...)
@@ -98,20 +107,29 @@ func AblationBTB(p Params) (*Table, error) {
 		t.Columns = append(t.Columns, v.name+" speedup")
 	}
 	t.Columns = append(t.Columns, "acc 512", "acc 2k", "acc 8k", "acc gshare")
+	g := p.newGrid("ablation.btb")
 	for _, name := range p.workloads() {
 		recs := traces[name]
+		for _, v := range variants {
+			g.cell(name, v.name, "base", func() (any, error) {
+				return pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), pipeline.DefaultConfig())
+			})
+			g.cell(name, v.name, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var speedups, accs []float64
 		for _, v := range variants {
-			base, err := pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), pipeline.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), cfg)
-			if err != nil {
-				return nil, err
-			}
+			base := res.get(name, v.name, "base").(pipeline.Result)
+			vp := res.get(name, v.name, "vp").(pipeline.Result)
 			speedups = append(speedups, pipeline.Speedup(base, vp))
 			if v.name != "ideal" {
 				accs = append(accs, 100*vp.Fetch.BranchAccuracy())
@@ -155,20 +173,29 @@ func AblationFetchMech(p Params) (*Table, error) {
 	for _, v := range variants {
 		t.Columns = append(t.Columns, v.name)
 	}
+	g := p.newGrid("ablation.fetchmech")
 	for _, name := range p.workloads() {
 		recs := traces[name]
+		for _, v := range variants {
+			g.cell(name, v.name, "base", func() (any, error) {
+				return pipeline.Run(v.mk(recs), pipeline.DefaultConfig())
+			})
+			g.cell(name, v.name, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(v.mk(recs), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var cells []float64
 		for _, v := range variants {
-			base, err := pipeline.Run(v.mk(recs), pipeline.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(v.mk(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
+			base := res.get(name, v.name, "base").(pipeline.Result)
+			vp := res.get(name, v.name, "vp").(pipeline.Result)
 			cells = append(cells, pipeline.Speedup(base, vp))
 		}
 		t.AddRow(name, cells...)

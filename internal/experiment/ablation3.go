@@ -15,6 +15,29 @@ func init() {
 		AblationTwoDelta)
 }
 
+// vpEval couples one ideal-machine vp run with the scheme's raw trace
+// accuracy, so a grid cell can carry both to the merge.
+type vpEval struct {
+	res ideal.Result
+	acc predictor.Accuracy
+}
+
+// vpEvalCell builds the cell body shared by the ablation.lipasti and
+// ablation.twodelta schemes: run the ideal machine at width 16 under a
+// fresh predictor, then evaluate a second fresh predictor over the raw
+// trace.
+func vpEvalCell(recs []trace.Rec, mk func() predictor.Predictor) func() (any, error) {
+	return func() (any, error) {
+		cfg := ideal.DefaultConfig(16)
+		cfg.Predictor = mk()
+		res, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return vpEval{res: res, acc: predictor.Evaluate(mk(), recs)}, nil
+	}
+}
+
 // AblationLipasti contrasts the original load-value prediction of Lipasti,
 // Wilkerson & Shen (reference [13]: predict loads only) with the paper's
 // all-instruction value prediction, on the ideal machine at width 16. The
@@ -30,29 +53,34 @@ func AblationLipasti(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"loads-only speedup", "all-inst speedup", "loads-only coverage %", "all-inst coverage %"},
 	}
+	schemes := []string{"loads-only", "all-inst"}
+	g := p.newGrid("ablation.lipasti")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
-		if err != nil {
-			return nil, err
-		}
-		mk := []func() predictor.Predictor{
+		g.cell(name, "", "base", func() (any, error) {
+			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		})
+		mks := []func() predictor.Predictor{
 			func() predictor.Predictor {
 				return predictor.NewLoadsOnlyFromTrace(predictor.NewClassifiedStride(), recs)
 			},
 			func() predictor.Predictor { return predictor.NewClassifiedStride() },
 		}
+		for si, scheme := range schemes {
+			g.cell(name, "", scheme, vpEvalCell(recs, mks[si]))
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(ideal.Result)
 		var speedups, coverages []float64
-		for _, m := range mk {
-			cfg := ideal.DefaultConfig(16)
-			cfg.Predictor = m()
-			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
-			speedups = append(speedups, ideal.Speedup(base, vp))
-			acc := predictor.Evaluate(m(), recs)
-			coverages = append(coverages, 100*acc.ConfidentCoverage())
+		for _, scheme := range schemes {
+			out := res.get(name, "", scheme).(vpEval)
+			speedups = append(speedups, ideal.Speedup(base, out.res))
+			coverages = append(coverages, 100*out.acc.ConfidentCoverage())
 		}
 		t.AddRow(name, speedups[0], speedups[1], coverages[0], coverages[1])
 	}
@@ -74,25 +102,32 @@ func AblationTwoDelta(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"stride speedup", "2-delta speedup", "stride hit %", "2-delta hit %"},
 	}
+	schemes := []string{"stride", "2-delta"}
+	mks := []func() predictor.Predictor{
+		func() predictor.Predictor { return predictor.NewClassifiedStride() },
+		func() predictor.Predictor { return predictor.NewClassifiedTwoDelta() },
+	}
+	g := p.newGrid("ablation.twodelta")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+		})
+		for si, scheme := range schemes {
+			g.cell(name, "", scheme, vpEvalCell(recs, mks[si]))
 		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(ideal.Result)
 		var speedups, hits []float64
-		for _, m := range []func() predictor.Predictor{
-			func() predictor.Predictor { return predictor.NewClassifiedStride() },
-			func() predictor.Predictor { return predictor.NewClassifiedTwoDelta() },
-		} {
-			cfg := ideal.DefaultConfig(16)
-			cfg.Predictor = m()
-			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
-			speedups = append(speedups, ideal.Speedup(base, vp))
-			hits = append(hits, 100*predictor.Evaluate(m(), recs).HitRate())
+		for _, scheme := range schemes {
+			out := res.get(name, "", scheme).(vpEval)
+			speedups = append(speedups, ideal.Speedup(base, out.res))
+			hits = append(hits, 100*out.acc.HitRate())
 		}
 		t.AddRow(name, speedups[0], speedups[1], hits[0], hits[1])
 	}

@@ -3,8 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"valuepred/internal/trace"
-
 	"valuepred/internal/fetch"
 	"valuepred/internal/pipeline"
 	"valuepred/internal/predictor"
@@ -22,6 +20,13 @@ func init() {
 // AblationVPTableSizes is the size sweep (0 = infinite).
 var AblationVPTableSizes = []int{16, 64, 256, 0}
 
+func vpTableLabel(size int) string {
+	if size == 0 {
+		return "infinite"
+	}
+	return fmt.Sprintf("%d entries", size)
+}
+
 // AblationVPTable replaces Section 3's infinite stride table with
 // direct-mapped tagged tables of realistic sizes on the Section 5 machine
 // (n=4, ideal BTB): the knee shows how much state the paper's assumption
@@ -37,32 +42,37 @@ func AblationVPTable(p Params) (*Table, error) {
 		Unit:      "%",
 	}
 	for _, size := range AblationVPTableSizes {
-		if size == 0 {
-			t.Columns = append(t.Columns, "infinite")
-		} else {
-			t.Columns = append(t.Columns, fmt.Sprintf("%d entries", size))
-		}
+		t.Columns = append(t.Columns, vpTableLabel(size))
 	}
+	g := p.newGrid("ablation.vptable")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
-		if err != nil {
-			return nil, err
+		g.cell(name, "", "base", func() (any, error) {
+			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+		})
+		for _, size := range AblationVPTableSizes {
+			g.cell(name, vpTableLabel(size), "vp", func() (any, error) {
+				var inner predictor.Predictor
+				if size == 0 {
+					inner = predictor.NewStride()
+				} else {
+					inner = predictor.NewStrideTable(size)
+				}
+				cfg := pipeline.DefaultConfig()
+				cfg.Predictor = &predictor.Classified{Inner: inner, Class: predictor.NewClassifier(2, 2)}
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			})
 		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(pipeline.Result)
 		var cells []float64
 		for _, size := range AblationVPTableSizes {
-			var inner predictor.Predictor
-			if size == 0 {
-				inner = predictor.NewStride()
-			} else {
-				inner = predictor.NewStrideTable(size)
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = &predictor.Classified{Inner: inner, Class: predictor.NewClassifier(2, 2)}
-			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
-			if err != nil {
-				return nil, err
-			}
+			vp := res.get(name, vpTableLabel(size), "vp").(pipeline.Result)
 			cells = append(cells, pipeline.Speedup(base, vp))
 		}
 		t.AddRow(name, cells...)
@@ -85,32 +95,34 @@ func DiagMemDeps(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"base IPC mem", "base IPC nomem", "speedup mem", "speedup nomem"},
 	}
+	cols := []string{"mem", "nomem"}
+	g := p.newGrid("diag.memdeps")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		run := func(mem, vp bool) (pipeline.Result, error) {
-			cfg := pipeline.DefaultConfig()
-			cfg.IncludeMemoryDeps = mem
-			if vp {
-				cfg.Predictor = predictor.NewClassifiedStride()
+		for mi, mem := range []bool{true, false} {
+			col := cols[mi]
+			for vi, variant := range []string{"base", "vp"} {
+				vp := vi == 1
+				g.cell(name, col, variant, func() (any, error) {
+					cfg := pipeline.DefaultConfig()
+					cfg.IncludeMemoryDeps = mem
+					if vp {
+						cfg.Predictor = predictor.NewClassifiedStride()
+					}
+					return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+				})
 			}
-			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
 		}
-		baseMem, err := run(true, false)
-		if err != nil {
-			return nil, err
-		}
-		baseNo, err := run(false, false)
-		if err != nil {
-			return nil, err
-		}
-		vpMem, err := run(true, true)
-		if err != nil {
-			return nil, err
-		}
-		vpNo, err := run(false, true)
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		baseMem := res.get(name, "mem", "base").(pipeline.Result)
+		baseNo := res.get(name, "nomem", "base").(pipeline.Result)
+		vpMem := res.get(name, "mem", "vp").(pipeline.Result)
+		vpNo := res.get(name, "nomem", "vp").(pipeline.Result)
 		t.AddRow(name,
 			baseMem.IPC(), baseNo.IPC(),
 			pipeline.Speedup(baseMem, vpMem), pipeline.Speedup(baseNo, vpNo))
@@ -130,54 +142,61 @@ func init() {
 // rate rises because predictor/line disagreements deliver the matching
 // prefix instead of missing.
 func AblationPartial(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:     "Ablation — trace-cache partial matching (2-level BTB)",
 		RowHeader: "benchmark",
 		Columns:   []string{"hit% off", "hit% on", "partial share %", "speedup off", "speedup on"},
 	}
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
-		type outcome struct {
-			hit, partialShare, speedup float64
-		}
-		measure := func(partial bool) (outcome, error) {
+	cols := []string{"off", "on"}
+	g := p.newGrid("ablation.partial")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		for ci, partial := range []bool{false, true} {
+			col := cols[ci]
 			tcCfg := fetch.DefaultTCConfig()
 			tcCfg.PartialMatching = partial
 			mk := func() fetch.Engine {
 				return fetch.NewTraceCache(recs, twoLevelBTB(), tcCfg)
 			}
-			base, err := pipeline.Run(mk(), pipeline.DefaultConfig())
-			if err != nil {
-				return outcome{}, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(mk(), cfg)
-			if err != nil {
-				return outcome{}, err
-			}
+			g.cell(name, col, "base", func() (any, error) {
+				return pipeline.Run(mk(), pipeline.DefaultConfig())
+			})
+			g.cell(name, col, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(mk(), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		type outcome struct {
+			hit, partialShare, speedup float64
+		}
+		var outcomes []outcome
+		for _, col := range cols {
+			base := res.get(name, col, "base").(pipeline.Result)
+			vp := res.get(name, col, "vp").(pipeline.Result)
 			st := vp.Fetch
 			var share float64
 			if st.TCHits > 0 {
 				share = 100 * float64(st.TCPartialHits) / float64(st.TCHits)
 			}
-			return outcome{
+			outcomes = append(outcomes, outcome{
 				hit:          100 * st.TCHitRate(),
 				partialShare: share,
 				speedup:      pipeline.Speedup(base, vp),
-			}, nil
+			})
 		}
-		off, err := measure(false)
-		if err != nil {
-			return nil, err
-		}
-		on, err := measure(true)
-		if err != nil {
-			return nil, err
-		}
-		return []float64{off.hit, on.hit, on.partialShare, off.speedup, on.speedup}, nil
-	})
-	if err != nil {
-		return nil, err
+		off, on := outcomes[0], outcomes[1]
+		t.AddRow(name, off.hit, on.hit, on.partialShare, off.speedup, on.speedup)
 	}
 	t.AppendAverage()
 	return t, nil
@@ -199,6 +218,10 @@ var AblationLatencyLoads = []int{1, 2, 4}
 // unpredictable dependence chains lengthen faster than prediction can
 // compensate), which is why the table reports both speedup and base IPC.
 func AblationLatency(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:     "Ablation — load latency (sequential fetch, n=4, ideal BTB)",
 		RowHeader: "benchmark",
@@ -209,28 +232,38 @@ func AblationLatency(p Params) (*Table, error) {
 	for _, lat := range AblationLatencyLoads {
 		t.Columns = append(t.Columns, fmt.Sprintf("lat=%d base IPC", lat))
 	}
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+	g := p.newGrid("ablation.latency")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		for _, lat := range AblationLatencyLoads {
+			col := fmt.Sprintf("lat=%d", lat)
+			g.cell(name, col, "base", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.LoadLatency = lat
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			})
+			g.cell(name, col, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.LoadLatency = lat
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var speedups, ipcs []float64
 		for _, lat := range AblationLatencyLoads {
-			cfg := pipeline.DefaultConfig()
-			cfg.LoadLatency = lat
-			base, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfgVP := cfg
-			cfgVP.Predictor = predictor.NewClassifiedStride()
-			vp, err := pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfgVP)
-			if err != nil {
-				return nil, err
-			}
+			col := fmt.Sprintf("lat=%d", lat)
+			base := res.get(name, col, "base").(pipeline.Result)
+			vp := res.get(name, col, "vp").(pipeline.Result)
 			speedups = append(speedups, pipeline.Speedup(base, vp))
 			ipcs = append(ipcs, base.IPC())
 		}
-		return append(speedups, ipcs...), nil
-	})
-	if err != nil {
-		return nil, err
+		t.AddRow(name, append(speedups, ipcs...)...)
 	}
 	t.AppendAverage()
 	return t, nil

@@ -27,9 +27,19 @@ func DiagClasses(p Params) (*Table, error) {
 			"load hit %", "alu hit %", "jump hit %",
 		},
 	}
+	g := p.newGrid("diag.classes")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		ca := predictor.EvaluateByClass(predictor.NewStride(), recs)
+		g.cell(name, "", "eval", func() (any, error) {
+			return predictor.EvaluateByClass(predictor.NewStride(), recs), nil
+		})
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		ca := res.get(name, "", "eval").(predictor.ClassAccuracy)
 		total := ca.ALU.Eligible + ca.Load.Eligible + ca.Jump.Eligible
 		share := func(n uint64) float64 {
 			if total == 0 {

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"valuepred/internal/obs"
 	"valuepred/internal/predictor"
@@ -110,11 +109,13 @@ func (p Params) instrument(pred predictor.Predictor) predictor.Predictor {
 }
 
 // traces fetches the dynamic trace of every selected workload through the
-// trace store, one concurrent request per workload: cached traces return
-// immediately, missing ones run one emulator each, and requests racing
-// with another experiment's are deduplicated by the store. The returned
-// slices alias the cache and must be treated as read-only (every engine
-// only reads its trace).
+// trace store as one plan grid (one cell per workload on the shared pool):
+// cached traces return immediately, missing ones run one emulator each,
+// and requests racing with another experiment's are deduplicated by the
+// store. The returned slices alias the cache and must be treated as
+// read-only (every engine only reads its trace). A cancellation that
+// arrives while the emulators run wins over any per-workload error: the
+// caller asked the whole run to stop.
 func (p Params) traces() (map[string][]trace.Rec, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -124,28 +125,19 @@ func (p Params) traces() (map[string][]trace.Rec, error) {
 	}
 	names := p.workloads()
 	st := p.store()
-	recs := make([][]trace.Rec, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			recs[i], errs[i] = st.Get(name, p.Seed, p.TraceLen)
-		}(i, name)
+	g := p.newGrid("traces")
+	for _, name := range names {
+		g.cell(name, "", "", func() (any, error) {
+			return st.Get(name, p.Seed, p.TraceLen)
+		})
 	}
-	wg.Wait()
-	// A cancellation that arrived while the emulators ran wins over any
-	// per-workload error: the caller asked the whole run to stop.
-	if err := p.ctxErr(); err != nil {
+	res, err := g.run()
+	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]trace.Rec, len(names))
-	for i, name := range names {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out[name] = recs[i]
+	for _, name := range names {
+		out[name] = res.recs(name)
 	}
 	return out, nil
 }
@@ -222,11 +214,16 @@ func RunSeedsCtx(ctx context.Context, id string, p Params, seeds []int64) (*Tabl
 
 // preloadAsync warms the trace store for one seed in the background; any
 // generation error is re-reported by the foreground Get that needs the
-// trace, so it is safe to drop here. A canceled run launches nothing: the
+// trace, so it is safe to drop here. The preload runs as a plan grid on
+// the shared worker pool — one launcher goroutine per seed, one cell per
+// workload — so background warming competes for the same bounded tokens
+// as foreground simulation instead of stampeding tracestore with a free
+// goroutine per (seed, workload). A canceled run launches nothing: the
 // context is checked both before spawning and again inside the goroutine
-// (a cancel can land between the two), so an aborted RunSeeds does not
-// burn an emulator on a trace nobody will read. The check is best-effort —
-// a cancel arriving after generation starts cannot stop it, because the
+// (a cancel can land between the two), and the grid itself skips cells
+// once the cancel lands, so an aborted RunSeeds does not burn emulators
+// on traces nobody will read. The check is best-effort — a cancel
+// arriving after a cell's generation starts cannot stop it, because the
 // emulators themselves are context-free by design (DESIGN.md §9).
 func (p Params) preloadAsync(seed int64) {
 	if p.ctxErr() != nil {
@@ -234,11 +231,20 @@ func (p Params) preloadAsync(seed int64) {
 	}
 	st := p.store()
 	names := p.workloads()
+	ps := p
+	ps.Seed = seed
 	go func() {
-		if p.ctxErr() != nil {
+		if ps.ctxErr() != nil {
 			return
 		}
-		st.Preload(names, seed, p.TraceLen) //vplint:ignore errlint any generation error is re-reported by the foreground Get
+		g := ps.newGrid("preload")
+		for _, name := range names {
+			name := name
+			g.cell(name, "", "", func() (any, error) {
+				return st.Get(name, seed, ps.TraceLen)
+			})
+		}
+		g.run() //vplint:ignore errlint any generation error is re-reported by the foreground Get
 	}()
 }
 
@@ -277,43 +283,4 @@ func RunSeeds(id string, p Params, seeds []int64) (*Table, error) {
 func workloadGet(name string) (string, bool) {
 	s, ok := workload.Get(name)
 	return s.Description, ok
-}
-
-// forEachWorkload runs fn for every selected workload concurrently (one
-// goroutine per benchmark — each run builds its own predictors and engines,
-// so there is no shared mutable state) and appends the returned rows to t
-// in the paper's presentation order. A canceled Params context skips any
-// workload whose goroutine has not started simulating yet and is reported
-// in preference to per-workload errors.
-func forEachWorkload(p Params, t *Table, fn func(name string, recs []trace.Rec) ([]float64, error)) error {
-	traces, err := p.traces()
-	if err != nil {
-		return err
-	}
-	names := p.workloads()
-	rows := make([][]float64, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			if err := p.ctxErr(); err != nil {
-				errs[i] = err
-				return
-			}
-			rows[i], errs[i] = fn(name, traces[name])
-		}(i, name)
-	}
-	wg.Wait()
-	if err := p.ctxErr(); err != nil {
-		return err
-	}
-	for i, name := range names {
-		if errs[i] != nil {
-			return errs[i]
-		}
-		t.AddRow(name, rows[i]...)
-	}
-	return nil
 }

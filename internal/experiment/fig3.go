@@ -27,8 +27,15 @@ var Fig31Widths = []int{4, 8, 16, 32, 40}
 
 // Fig31 reproduces Figure 3.1: speedup of the stride+classifier value
 // predictor on the ideal machine, relative to the same machine without
-// value prediction, at each fetch width.
+// value prediction, at each fetch width. The full workload × width ×
+// {base, vp} product — 80 independent simulations over the paper's eight
+// benchmarks — is declared as one plan grid; speedups are computed at the
+// keyed merge.
 func Fig31(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:     "Figure 3.1 — value-prediction speedup vs instruction-fetch rate (ideal machine)",
 		RowHeader: "benchmark",
@@ -37,38 +44,64 @@ func Fig31(p Params) (*Table, error) {
 	for _, w := range Fig31Widths {
 		t.Columns = append(t.Columns, fmt.Sprintf("BW=%d", w))
 	}
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+	g := p.newGrid("fig3.1")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		for _, w := range Fig31Widths {
+			wl := fmt.Sprintf("BW=%d", w)
+			g.cell(name, wl, "base", func() (any, error) {
+				cfg := ideal.DefaultConfig(w)
+				cfg.Obs = p.track("fig3.1", name, wl, "base")
+				return ideal.Run(trace.NewSliceSource(recs), cfg)
+			})
+			g.cell(name, wl, "vp", func() (any, error) {
+				cfg := ideal.DefaultConfig(w)
+				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+				cfg.Obs = p.track("fig3.1", name, wl, "vp")
+				return ideal.Run(trace.NewSliceSource(recs), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var cells []float64
 		for _, w := range Fig31Widths {
 			wl := fmt.Sprintf("BW=%d", w)
-			baseCfg := ideal.DefaultConfig(w)
-			baseCfg.Obs = p.track("fig3.1", name, wl, "base")
-			base, err := ideal.Run(trace.NewSliceSource(recs), baseCfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg := ideal.DefaultConfig(w)
-			cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
-			cfg.Obs = p.track("fig3.1", name, wl, "vp")
-			vp, err := ideal.Run(trace.NewSliceSource(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
+			base := res.get(name, wl, "base").(ideal.Result)
+			vp := res.get(name, wl, "vp").(ideal.Result)
 			cells = append(cells, ideal.Speedup(base, vp))
 		}
-		return cells, nil
-	})
-	if err != nil {
-		return nil, err
+		t.AddRow(name, cells...)
 	}
 	t.AppendAverage()
 	return t, nil
 }
 
+// dfgGrid runs one dfg.Analyze cell per selected workload on the shared
+// pool and returns the analyses keyed by workload (the common skeleton of
+// Figures 3.3–3.5).
+func dfgGrid(p Params, id string) (*gridResults, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
+	g := p.newGrid(id)
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		g.cell(name, "", "dfg", func() (any, error) {
+			return dfg.Analyze(recs, dfg.Config{}), nil
+		})
+	}
+	return g.run()
+}
+
 // Fig33 reproduces Figure 3.3: the average DID per benchmark, over the
 // register dataflow graph of the full trace.
 func Fig33(p Params) (*Table, error) {
-	traces, err := p.traces()
+	res, err := dfgGrid(p, "fig3.3")
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +111,7 @@ func Fig33(p Params) (*Table, error) {
 		Columns:   []string{"avg DID", "median bucket floor"},
 	}
 	for _, name := range p.workloads() {
-		a := dfg.Analyze(traces[name], dfg.Config{})
+		a := res.get(name, "", "dfg").(*dfg.Analysis)
 		t.AddRow(name, a.AvgDID(), medianBucketFloor(a))
 	}
 	t.AppendAverage()
@@ -102,7 +135,7 @@ func medianBucketFloor(a *dfg.Analysis) float64 {
 
 // Fig34 reproduces Figure 3.4: the distribution of dependencies by DID.
 func Fig34(p Params) (*Table, error) {
-	traces, err := p.traces()
+	res, err := dfgGrid(p, "fig3.4")
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +149,7 @@ func Fig34(p Params) (*Table, error) {
 	}
 	t.Columns = append(t.Columns, ">=4 total")
 	for _, name := range p.workloads() {
-		a := dfg.Analyze(traces[name], dfg.Config{})
+		a := res.get(name, "", "dfg").(*dfg.Analysis)
 		var cells []float64
 		for b := dfg.BucketDID1; b < dfg.NumBuckets; b++ {
 			cells = append(cells, 100*float64(a.Hist[b])/float64(a.Arcs))
@@ -131,7 +164,7 @@ func Fig34(p Params) (*Table, error) {
 // Fig35 reproduces Figure 3.5: dependencies classified by the stride
 // predictability of their producer instance and by DID.
 func Fig35(p Params) (*Table, error) {
-	traces, err := p.traces()
+	res, err := dfgGrid(p, "fig3.5")
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +175,7 @@ func Fig35(p Params) (*Table, error) {
 		Unit:      "%",
 	}
 	for _, name := range p.workloads() {
-		a := dfg.Analyze(traces[name], dfg.Config{})
+		a := res.get(name, "", "dfg").(*dfg.Analysis)
 		t.AddRow(name,
 			100*float64(a.Unpredictable)/float64(a.Arcs),
 			100*a.FracPredictableShort(),

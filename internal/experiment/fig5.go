@@ -2,9 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
-
-	"valuepred/internal/trace"
 
 	"valuepred/internal/btb"
 	"valuepred/internal/core"
@@ -38,52 +35,58 @@ func perfectBTB() btb.Predictor  { return btb.NewPerfect() }
 func twoLevelBTB() btb.Predictor { return btb.NewTwoLevel(btb.DefaultTwoLevelConfig()) }
 
 // sequentialSpeedups runs the Section 5 machine over every workload and
-// taken-branch limit, with and without value prediction. id labels the
-// figure's observability tracks.
+// taken-branch limit, with and without value prediction, as one plan grid
+// (workload × limit × {base, vp} cells). id labels the figure's
+// observability tracks and the grid's canonical keys. The accuracy note
+// is summed at the merge in presentation order — per workload over the
+// Fig5Taken sweep, then across workloads — so the float64 addition order
+// (addition is not associative) never depends on cell scheduling.
 func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Title: title, RowHeader: "benchmark", Unit: "%"}
 	for _, n := range Fig5Taken {
 		t.Columns = append(t.Columns, takenLabel(n))
 	}
-	// Per-benchmark accuracy sums are recorded under the mutex but summed
-	// afterwards in presentation order: the workloads run concurrently, and
-	// float64 addition is not associative, so accumulating into one shared
-	// sum would make the rendered note vary with goroutine scheduling.
-	var mu sync.Mutex
-	accByName := make(map[string]float64, len(p.workloads()))
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
-		var cells []float64
-		var acc float64
+	g := p.newGrid(id)
+	for _, name := range p.workloads() {
+		recs := traces[name]
 		for _, n := range Fig5Taken {
-			baseCfg := pipeline.DefaultConfig()
-			baseCfg.Obs = p.track(id, name, takenLabel(n), "base")
-			base, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), baseCfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
-			cfg.Obs = p.track(id, name, takenLabel(n), "vp")
-			vp, err := pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, pipeline.Speedup(base, vp))
-			acc += vp.Fetch.BranchAccuracy()
+			wl := takenLabel(n)
+			g.cell(name, wl, "base", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Obs = p.track(id, name, wl, "base")
+				return pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
+			})
+			g.cell(name, wl, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+				cfg.Obs = p.track(id, name, wl, "vp")
+				return pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
+			})
 		}
-		mu.Lock()
-		accByName[name] = acc
-		mu.Unlock()
-		return cells, nil
-	})
+	}
+	res, err := g.run()
 	if err != nil {
 		return nil, err
 	}
-	t.AppendAverage()
 	var accSum float64
 	for _, name := range p.workloads() {
-		accSum += accByName[name]
+		var cells []float64
+		var acc float64
+		for _, n := range Fig5Taken {
+			wl := takenLabel(n)
+			base := res.get(name, wl, "base").(pipeline.Result)
+			vp := res.get(name, wl, "vp").(pipeline.Result)
+			cells = append(cells, pipeline.Speedup(base, vp))
+			acc += vp.Fetch.BranchAccuracy()
+		}
+		t.AddRow(name, cells...)
+		accSum += acc
 	}
+	t.AppendAverage()
 	accN := float64(len(p.workloads()) * len(Fig5Taken))
 	t.AddNote("mean branch prediction accuracy across runs: %.1f%%", 100*accSum/accN)
 	return t, nil
@@ -107,51 +110,56 @@ func Fig52(p Params) (*Table, error) {
 // Fig53 reproduces Figure 5.3: the trace-cache machine, with the banked
 // prediction network delivering values, under both branch predictors.
 func Fig53(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:     "Figure 5.3 — value-prediction speedup with a trace cache",
 		RowHeader: "benchmark",
 		Columns:   []string{"TC+2levelBTB", "TC+idealBTB"},
 		Unit:      "%",
 	}
-	// As in sequentialSpeedups: per-benchmark sums, combined in
-	// presentation order after the concurrent phase, keep the rendered note
-	// independent of goroutine scheduling.
-	var mu sync.Mutex
-	hitByName := make(map[string]float64, len(p.workloads()))
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
-		var cells []float64
-		var hits float64
-		for bi, mk := range []branchMaker{twoLevelBTB, perfectBTB} {
-			btbLabel := []string{"2levelBTB", "idealBTB"}[bi]
-			baseCfg := pipeline.DefaultConfig()
-			baseCfg.Obs = p.track("fig5.3", name, btbLabel, "base")
-			base, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), baseCfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg := pipeline.DefaultConfig()
-			cfg.Network = core.MustNew(core.DefaultConfig())
-			cfg.Obs = p.track("fig5.3", name, btbLabel, "vp")
-			vp, err := pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, pipeline.Speedup(base, vp))
-			hits += vp.Fetch.TCHitRate()
+	// As in sequentialSpeedups: the hit-rate note is summed at the keyed
+	// merge in presentation order, so it never depends on cell scheduling.
+	btbLabels := []string{"2levelBTB", "idealBTB"}
+	makers := []branchMaker{twoLevelBTB, perfectBTB}
+	g := p.newGrid("fig5.3")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		for bi, mk := range makers {
+			btbLabel := btbLabels[bi]
+			g.cell(name, btbLabel, "base", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Obs = p.track("fig5.3", name, btbLabel, "base")
+				return pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
+			})
+			g.cell(name, btbLabel, "vp", func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Network = core.MustNew(core.DefaultConfig())
+				cfg.Obs = p.track("fig5.3", name, btbLabel, "vp")
+				return pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
+			})
 		}
-		mu.Lock()
-		hitByName[name] = hits
-		mu.Unlock()
-		return cells, nil
-	})
+	}
+	res, err := g.run()
 	if err != nil {
 		return nil, err
 	}
-	t.AppendAverage()
 	var hitSum float64
 	for _, name := range p.workloads() {
-		hitSum += hitByName[name]
+		var cells []float64
+		var hits float64
+		for _, btbLabel := range btbLabels {
+			base := res.get(name, btbLabel, "base").(pipeline.Result)
+			vp := res.get(name, btbLabel, "vp").(pipeline.Result)
+			cells = append(cells, pipeline.Speedup(base, vp))
+			hits += vp.Fetch.TCHitRate()
+		}
+		t.AddRow(name, cells...)
+		hitSum += hits
 	}
+	t.AppendAverage()
 	hitN := float64(2 * len(p.workloads()))
 	t.AddNote("mean trace-cache hit rate across runs: %.1f%%", 100*hitSum/hitN)
 	return t, nil
@@ -170,30 +178,48 @@ func Sec4(p Params) (*Table, error) {
 		RowHeader: "benchmark",
 		Columns:   []string{"requests/kinst", "merged %", "denied %", "hint-dropped %", "speedup %"},
 	}
+	// The vp cell owns its network, so the router statistics travel with
+	// the cell result instead of leaking through shared state.
+	type vpOut struct {
+		res   pipeline.Result
+		stats core.Stats
+	}
+	g := p.newGrid("sec4")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		baseCfg := pipeline.DefaultConfig()
-		baseCfg.Obs = p.track("sec4", name, "base")
-		base, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), baseCfg)
-		if err != nil {
-			return nil, err
-		}
-		net := core.MustNew(core.DefaultConfig())
-		cfg := pipeline.DefaultConfig()
-		cfg.Network = net
-		cfg.Obs = p.track("sec4", name, "vp")
-		vp, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
-		if err != nil {
-			return nil, err
-		}
-		s := net.Stats()
+		g.cell(name, "", "base", func() (any, error) {
+			cfg := pipeline.DefaultConfig()
+			cfg.Obs = p.track("sec4", name, "base")
+			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+		})
+		g.cell(name, "", "vp", func() (any, error) {
+			net := core.MustNew(core.DefaultConfig())
+			cfg := pipeline.DefaultConfig()
+			cfg.Network = net
+			cfg.Obs = p.track("sec4", name, "vp")
+			res, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			if err != nil {
+				return nil, err
+			}
+			return vpOut{res: res, stats: net.Stats()}, nil
+		})
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		base := res.get(name, "", "base").(pipeline.Result)
+		vp := res.get(name, "", "vp").(vpOut)
+		s := vp.stats
 		req := float64(s.Requests)
 		t.AddRow(name,
 			1000*req/float64(len(recs)),
 			100*float64(s.MergedServed+s.MergedDenied)/req,
 			100*float64(s.Denied+s.MergedDenied)/req,
 			100*float64(s.HintDropped)/req,
-			pipeline.Speedup(base, vp))
+			pipeline.Speedup(base, vp.res))
 	}
 	t.AppendAverage()
 	return t, nil

@@ -32,26 +32,27 @@ func DiagStalls(p Params) (*Table, error) {
 			"occupancy base", "occupancy vp",
 		},
 	}
+	g := p.newGrid("diag.stalls")
 	for _, name := range p.workloads() {
 		recs := traces[name]
-		run := func(vp bool) (pipeline.Result, error) {
-			cfg := pipeline.DefaultConfig()
-			variant := "base"
-			if vp {
-				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
-				variant = "vp"
-			}
-			cfg.Obs = p.track("diag.stalls", name, variant)
-			return pipeline.Run(fetch.NewSequential(recs, twoLevelBTB(), 4), cfg)
+		for _, variant := range []string{"base", "vp"} {
+			g.cell(name, "", variant, func() (any, error) {
+				cfg := pipeline.DefaultConfig()
+				if variant == "vp" {
+					cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
+				}
+				cfg.Obs = p.track("diag.stalls", name, variant)
+				return pipeline.Run(fetch.NewSequential(recs, twoLevelBTB(), 4), cfg)
+			})
 		}
-		base, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		vp, err := run(true)
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
+		base := res.get(name, "", "base").(pipeline.Result)
+		vp := res.get(name, "", "vp").(pipeline.Result)
 		pct := func(n, d uint64) float64 { return 100 * float64(n) / float64(d) }
 		t.AddRow(name,
 			base.IPC(), vp.IPC(),

@@ -24,6 +24,10 @@ var DiagUselessWidths = []int{4, 8, 16, 40}
 // predictions are wasted; widening the front end converts them into used
 // predictions (Section 3's argument, quantified).
 func DiagUseless(p Params) (*Table, error) {
+	traces, err := p.traces()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:     "Diagnostic — useless fraction of correct predictions vs fetch width (ideal machine)",
 		RowHeader: "benchmark",
@@ -32,25 +36,32 @@ func DiagUseless(p Params) (*Table, error) {
 	for _, w := range DiagUselessWidths {
 		t.Columns = append(t.Columns, fmt.Sprintf("BW=%d", w))
 	}
-	err := forEachWorkload(p, t, func(name string, recs []trace.Rec) ([]float64, error) {
+	g := p.newGrid("diag.useless")
+	for _, name := range p.workloads() {
+		recs := traces[name]
+		for _, w := range DiagUselessWidths {
+			g.cell(name, fmt.Sprintf("BW=%d", w), "vp", func() (any, error) {
+				cfg := ideal.DefaultConfig(w)
+				cfg.Predictor = predictor.NewClassifiedStride()
+				return ideal.Run(trace.NewSliceSource(recs), cfg)
+			})
+		}
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.workloads() {
 		var cells []float64
 		for _, w := range DiagUselessWidths {
-			cfg := ideal.DefaultConfig(w)
-			cfg.Predictor = predictor.NewClassifiedStride()
-			res, err := ideal.Run(trace.NewSliceSource(recs), cfg)
-			if err != nil {
-				return nil, err
-			}
-			if res.Correct == 0 {
+			r := res.get(name, fmt.Sprintf("BW=%d", w), "vp").(ideal.Result)
+			if r.Correct == 0 {
 				cells = append(cells, 0)
 				continue
 			}
-			cells = append(cells, 100*float64(res.Useless())/float64(res.Correct))
+			cells = append(cells, 100*float64(r.Useless())/float64(r.Correct))
 		}
-		return cells, nil
-	})
-	if err != nil {
-		return nil, err
+		t.AddRow(name, cells...)
 	}
 	t.AppendAverage()
 	t.AddNote("a useless prediction is correct but its consumers' operands were ready anyway")

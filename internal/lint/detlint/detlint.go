@@ -39,7 +39,7 @@ var restricted = map[string]bool{
 	"emu": true, "fetch": true, "pipeline": true, "predictor": true,
 	"experiment": true, "stats": true, "trace": true, "workload": true,
 	"ideal": true, "dfg": true, "btb": true, "core": true, "obs": true,
-	"tracestore": true,
+	"tracestore": true, "plan": true,
 }
 
 // Applies reports whether pkgPath is bound by the determinism contract.

@@ -21,6 +21,8 @@ func TestApplies(t *testing.T) {
 		"fix/internal/stats":            true,
 		"valuepred/internal/obs":        true, // restricted, with the wall-clock exemption
 		"valuepred/internal/tracestore": true,
+		"valuepred/internal/plan":       true, // the execution engine merges into ordered output
+
 		"valuepred/cmd/vpsim":           false,
 		"valuepred":                     false,
 		"emu":                           false, // no internal element

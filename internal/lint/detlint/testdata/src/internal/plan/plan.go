@@ -1,0 +1,45 @@
+// Package plan is a detlint fixture: the execution engine merges cell
+// results into ordered output, so the determinism contract applies — no
+// wall-clock reads, no map-order-dependent merges.
+package plan
+
+import (
+	"sort"
+	"time"
+)
+
+type key struct{ workload string }
+
+func timeCell() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func mergeByMapOrder(results map[key]float64) []float64 {
+	var out []float64
+	for _, v := range results { // want `map iteration order is randomized, but this loop appends to a slice`
+		out = append(out, v)
+	}
+	return out
+}
+
+func mergeByCanonicalOrder(cells []key, results map[key]float64) []float64 {
+	out := make([]float64, 0, len(cells))
+	for _, c := range cells { // keyed lookup in declaration order: not flagged
+		out = append(out, results[c])
+	}
+	return out
+}
+
+func sortedKeys(results map[key]float64) []string {
+	names := make(map[string]bool, len(results))
+	for k := range results { // writing another map is order-free: not flagged
+		names[k.workload] = true
+	}
+	var out []string
+	for n := range names { // want `map iteration order is randomized, but this loop appends to a slice`
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

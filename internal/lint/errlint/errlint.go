@@ -1,9 +1,10 @@
 // Package errlint flags discarded error returns from the result-integrity
-// packages: stats, tracestore and experiment. Those errors are the
+// packages: stats, tracestore, experiment and plan. Those errors are the
 // mechanism by which a malformed run fails loudly — AverageTables rejects
 // shape mismatches, the trace store surfaces generation failures, Run
-// reports unknown experiments — and a caller that drops one silently
-// converts a detectable corruption into a wrong number in a table.
+// reports unknown experiments, the plan runner reports the first failed
+// cell — and a caller that drops one silently converts a detectable
+// corruption into a wrong number in a table.
 package errlint
 
 import (
@@ -17,7 +18,7 @@ import (
 // Analyzer is the ignored-error check.
 var Analyzer = &analysis.Analyzer{
 	Name: "errlint",
-	Doc: "flag error returns from the stats, tracestore and experiment packages " +
+	Doc: "flag error returns from the stats, tracestore, experiment and plan packages " +
 		"that are discarded (call used as a statement, go/defer call, or error " +
 		"result assigned to the blank identifier)",
 	Run: run,
@@ -28,7 +29,7 @@ var Analyzer = &analysis.Analyzer{
 // element and ends in one of these names, so the rule applies equally to
 // this module and to test fixtures.
 var targets = map[string]bool{
-	"stats": true, "tracestore": true, "experiment": true,
+	"stats": true, "tracestore": true, "experiment": true, "plan": true,
 }
 
 func fromTarget(fn *types.Func) bool {

@@ -1,0 +1,9 @@
+// Package plan mimics the real execution engine's error-returning API.
+package plan
+
+// Grid mimes the declarative cell set.
+type Grid struct{}
+
+// Run mimics the bounded parallel runner: the returned error carries the
+// first failed cell in canonical order.
+func Run(g *Grid) ([]any, error) { return nil, nil }

@@ -3,6 +3,7 @@
 package use
 
 import (
+	"fix/internal/plan"
 	"fix/internal/stats"
 	"fix/internal/tracestore"
 )
@@ -13,6 +14,8 @@ func Bad(t *stats.Table) {
 	_, _ = stats.AverageTables(nil)  // want `error returned by stats\.AverageTables is assigned to the blank identifier`
 	go tracestore.Preload(nil)       // want `error returned by tracestore\.Preload is unobservable in a go statement`
 	defer tracestore.Preload(nil)    // want `error returned by tracestore\.Preload is discarded by defer`
+	plan.Run(nil)                    // want `error returned by plan\.Run is discarded`
+	_, _ = plan.Run(nil)             // want `error returned by plan\.Run is assigned to the blank identifier`
 }
 
 func Good(t *stats.Table) error {
@@ -25,5 +28,8 @@ func Good(t *stats.Table) error {
 		return err
 	}
 	_ = avg // discarding the value is fine; only the error is load-bearing
+	if res, err := plan.Run(nil); err != nil || res == nil {
+		return err
+	}
 	return tracestore.Preload(nil)
 }

@@ -26,6 +26,7 @@ type Manifest struct {
 	Seed        int64    `json:"seed"`
 	Seeds       int      `json:"seeds"`
 	TraceLen    int      `json:"trace_len"`
+	Workers     int      `json:"workers,omitempty"`
 	Start       string   `json:"start"`
 	WallMS      int64    `json:"wall_ms"`
 	Metrics     Snapshot `json:"metrics"`

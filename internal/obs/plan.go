@@ -1,0 +1,76 @@
+package obs
+
+import "time"
+
+// This file carries the plan-runner instrumentation: the execution
+// engine (internal/plan) is a restricted simulation package and may not
+// read the wall clock itself, so the timing side of its per-cell latency
+// metric lives here, behind the same write-only Sink facade as the
+// machine models' instrumentation.
+
+// planLatencyBounds bucket per-cell wall latency in milliseconds:
+// sub-millisecond analysis cells up to multi-second full-trace
+// simulations.
+var planLatencyBounds = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
+
+// planMetrics are the registry handles of the plan runner, resolved in
+// New alongside the machine-model handles. Handles are nil (no-op) when
+// the registry is.
+type planMetrics struct {
+	cells   *Counter
+	errors  *Counter
+	queue   *Gauge
+	latency *Histogram
+}
+
+// newPlanMetrics resolves the runner's handles against reg (nil-safe).
+func newPlanMetrics(reg *Registry) planMetrics {
+	return planMetrics{
+		cells:   reg.Counter("plan.cells"),
+		errors:  reg.Counter("plan.cell_errors"),
+		queue:   reg.Gauge("plan.queue_depth"),
+		latency: reg.Histogram("plan.cell_latency_ms", planLatencyBounds),
+	}
+}
+
+// CellQueued moves the plan.queue_depth gauge: +1 when a cell starts
+// waiting for a pool token, -1 when it is admitted (or abandons the wait
+// on cancellation). No-op on a nil sink.
+func (s *Sink) CellQueued(delta int64) {
+	if s == nil {
+		return
+	}
+	s.planM.queue.Add(delta)
+}
+
+// CellStart records the start of one plan cell and returns the completion
+// callback: calling it with the cell's outcome counts the cell, records
+// its wall latency in the plan.cell_latency_ms histogram, and drops an
+// instant event into the tracer's "plan" track. The tracer event is
+// timestamped with the cell's canonical index — not wall time — so
+// exported traces remain byte-identical run to run; wall latency lands
+// only in the histogram, which (like manifests) is reporting metadata.
+// On a nil sink both the method and the returned callback are no-ops.
+func (s *Sink) CellStart(key string, index int) func(ok bool) {
+	if s == nil {
+		return func(bool) {}
+	}
+	m := s.planM
+	start := time.Now()
+	return func(ok bool) {
+		m.cells.Inc()
+		if !ok {
+			m.errors.Inc()
+		}
+		m.latency.Observe(float64(time.Since(start).Milliseconds()))
+		if tb := s.tr.trackByName("plan"); tb != nil {
+			outcome := 1.0
+			if !ok {
+				outcome = 0
+			}
+			tb.emit(traceEvent{name: key, ph: 'I', ts: uint64(index), args: []traceArg{
+				{"ok", outcome},
+			}})
+		}
+	}
+}

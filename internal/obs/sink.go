@@ -13,10 +13,11 @@ package obs
 // synchronized: use one derived sink per simulated run (the registry side
 // is atomic and may be shared freely).
 type Sink struct {
-	reg *Registry
-	tr  *Tracer
-	tb  *track
-	m   simMetrics
+	reg   *Registry
+	tr    *Tracer
+	tb    *track
+	m     simMetrics
+	planM planMetrics
 
 	// Per-run cumulative tallies backing the tracer's counter series.
 	// Written by the single goroutine driving this run.
@@ -65,9 +66,10 @@ func New(reg *Registry, tr *Tracer) *Sink {
 		return nil
 	}
 	return &Sink{
-		reg: reg,
-		tr:  tr,
-		tb:  tr.trackByName("sim"),
+		reg:   reg,
+		tr:    tr,
+		tb:    tr.trackByName("sim"),
+		planM: newPlanMetrics(reg),
 		m: simMetrics{
 			cycles:        reg.Counter("sim.cycles"),
 			fetchInsts:    reg.Counter("pipeline.fetch.insts"),

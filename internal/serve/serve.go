@@ -15,6 +15,12 @@
 //   - every simulation runs under a context with a configurable timeout
 //     and is aborted cooperatively through experiment.RunCtx's checkpoints.
 //
+// Parallelism is bounded at two independent levels: MaxConcurrent admits
+// requests, and every admitted experiment then executes its cells on the
+// process-global internal/plan worker pool (sized by valuepred.SetWorkers
+// / vpserve's -workers flag), so total simulation concurrency is capped by
+// the pool width rather than requests × workloads.
+//
 // Served tables are byte-identical to cmd/vpsim's output for the same
 // parameters (pinned by TestServedTableMatchesVpsimRendering): the service
 // renders through the same stats.Table methods, and the determinism

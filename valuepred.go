@@ -25,6 +25,7 @@ import (
 	"valuepred/internal/ideal"
 	"valuepred/internal/obs"
 	"valuepred/internal/pipeline"
+	"valuepred/internal/plan"
 	"valuepred/internal/predictor"
 	"valuepred/internal/stats"
 	"valuepred/internal/trace"
@@ -333,6 +334,20 @@ func InstrumentTraceStore(reg *MetricsRegistry) { tracestore.Shared().Instrument
 func InstrumentPredictor(p Predictor, reg *MetricsRegistry) Predictor {
 	return predictor.Instrument(p, reg)
 }
+
+// --- the execution engine ---
+
+// SetWorkers resizes the process-global simulation worker pool shared by
+// every experiment grid, background preload and vpserve flight; n < 1
+// restores the default, GOMAXPROCS. Running cells finish on their old
+// admissions; the new width applies to cells not yet admitted. Returns
+// the previous width so callers can restore it. Tables are byte-identical
+// at any width: the plan runner merges results in canonical order, so the
+// worker count changes wall-clock time, never output.
+func SetWorkers(n int) int { return plan.SetWorkers(n) }
+
+// Workers returns the current width of the shared simulation worker pool.
+func Workers() int { return plan.Workers() }
 
 // --- experiments ---
 

@@ -1,0 +1,83 @@
+package valuepred
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWorkerWidthByteIdentity pins the execution engine's core contract:
+// the worker-pool width changes wall-clock time only. Every registered
+// experiment must render byte-identical tables whether its cells run
+// serially (workers=1) or race each other on a wide pool (workers=8 —
+// wider than the grid's workload count, so every cell that can overlap
+// does). The sweep covers every experiment id on purpose: each grid
+// declaration owns its own merge code, and any merge that accumulates in
+// completion order instead of canonical order shows up here as a float
+// diff in a note or averaged row.
+func TestWorkerWidthByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment at two pool widths")
+	}
+	p := DefaultParams()
+	p.TraceLen = 4_000
+	p.Workloads = []string{"compress95", "li"}
+
+	render := func(workers int) map[string]string {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		out := make(map[string]string, len(Experiments()))
+		for _, e := range Experiments() {
+			tab, err := RunExperiment(e.ID, p)
+			if err != nil {
+				t.Fatalf("workers=%d: %s: %v", workers, e.ID, err)
+			}
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Fatalf("workers=%d: %s: render: %v", workers, e.ID, err)
+			}
+			out[e.ID] = sb.String()
+		}
+		return out
+	}
+
+	serial := render(1)
+	wide := render(8)
+	for _, e := range Experiments() { // iterate the registry, not the map: deterministic failure order
+		if serial[e.ID] != wide[e.ID] {
+			t.Errorf("%s: workers=1 and workers=8 renders differ:\n%s",
+				e.ID, firstDiff(serial[e.ID], wide[e.ID]))
+		}
+	}
+}
+
+// TestWorkerWidthByteIdentitySeeds covers the multi-seed path (RunSeedsCtx
+// schedules one grid per seed) for a note-carrying experiment, whose
+// across-workload accumulation is the most scheduler-sensitive merge.
+func TestWorkerWidthByteIdentitySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a three-seed sweep twice")
+	}
+	p := DefaultParams()
+	p.TraceLen = 4_000
+	p.Workloads = []string{"compress95", "li"}
+	seeds := []int64{1, 2, 3}
+
+	render := func(workers int) string {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		tab, err := RunExperimentSeeds("fig5.1", p, seeds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var sb strings.Builder
+		if err := tab.Render(&sb); err != nil {
+			t.Fatalf("workers=%d: render: %v", workers, err)
+		}
+		return sb.String()
+	}
+
+	if serial, wide := render(1), render(8); serial != wide {
+		t.Errorf("fig5.1 over seeds %v: workers=1 and workers=8 renders differ:\n%s",
+			seeds, firstDiff(serial, wide))
+	}
+}
