@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-smoke bench-tracestore serve-smoke clean
+.PHONY: check build vet lint test race bench bench-gate bench-smoke bench-tracestore serve-smoke clean
 
 # check is the CI gate: static analysis (go vet + the custom vplint
 # suite), a full build, and the test suite under the race detector (the
@@ -29,10 +29,21 @@ race:
 # bench runs every benchmark and writes the parsed report — ns/op, the
 # simulated-instructions-per-second metric each benchmark reports, and the
 # derived workers=1 vs workers=max speedup of the execution engine — to
-# BENCH_pr5.json via cmd/benchjson (BENCH_pr3.json is the committed PR 3
-# baseline). The raw `go test -bench` text still reaches the terminal.
+# BENCH_pr6.json via cmd/benchjson (BENCH_pr3.json and BENCH_pr5.json are
+# the committed earlier baselines). The raw `go test -bench` text still
+# reaches the terminal. -gate makes the run fail outright if any parallel
+# sweep is slower than its serial baseline beyond benchjson's noise floor,
+# so a workers regression like PR 5's 0.92× can no longer land silently in
+# a committed report.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_pr5.json
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -gate -o BENCH_pr6.json
+
+# bench-gate is the CI regression check: the workers sweep alone, one
+# iteration, piped through benchjson -gate — fails on any workers_speedup
+# regression (slower than serial beyond the measurement-noise floor).
+bench-gate:
+	$(GO) test -run='^$$' -bench='BenchmarkFig31Workers' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -gate -o /dev/null
 
 # bench-smoke is the CI variant: a single iteration of the core simulator
 # benchmarks, piped through benchjson so the parser is exercised end to end,

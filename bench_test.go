@@ -125,6 +125,10 @@ func BenchmarkFig31Workers(b *testing.B) {
 	}
 	for _, w := range widths {
 		b.Run(w.name, func(b *testing.B) {
+			// allocs/op and B/op ride along with the speedup so the pooled
+			// path's allocation count is tracked by the same committed
+			// artifact (BENCH_pr6.json) that gates workers_speedup.
+			b.ReportAllocs()
 			prev := SetWorkers(w.n)
 			defer SetWorkers(prev)
 			for i := 0; i < b.N; i++ {

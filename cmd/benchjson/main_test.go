@@ -46,7 +46,7 @@ func TestParseLine(t *testing.T) {
 func TestRunWritesReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var echo strings.Builder
-	if err := run(strings.NewReader(sample), &echo, path); err != nil {
+	if err := run(strings.NewReader(sample), &echo, path, false); err != nil {
 		t.Fatal(err)
 	}
 	if echo.String() != sample {
@@ -79,6 +79,60 @@ func TestRunWritesReport(t *testing.T) {
 	if sp.Benchmark != "BenchmarkFig31Workers" || sp.ParallelName != "workers=max" || sp.Speedup != 4 {
 		t.Errorf("derived speedup: %+v", sp)
 	}
+	if sp.Regression {
+		t.Errorf("4x speedup flagged as regression: %+v", sp)
+	}
+	if strings.Contains(string(data), `"regression"`) {
+		t.Errorf("regression field emitted for a healthy speedup:\n%s", data)
+	}
+}
+
+const regressedSample = `BenchmarkFig31Workers/workers=1-8   	       2	 800000000 ns/op
+BenchmarkFig31Workers/workers=max-8 	       2	 870000000 ns/op
+PASS
+`
+
+func TestRegressionFlagAndGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var echo strings.Builder
+	// Without -gate a regressed pair is recorded but not fatal.
+	if err := run(strings.NewReader(regressedSample), &echo, path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.WorkersSpeedup) != 1 || !rep.WorkersSpeedup[0].Regression {
+		t.Fatalf("regression not flagged: %+v", rep.WorkersSpeedup)
+	}
+	if !strings.Contains(string(data), `"regression": true`) {
+		t.Errorf("explicit regression field missing from report:\n%s", data)
+	}
+	// With -gate the same input exits non-zero (the report is still written).
+	echo.Reset()
+	err = run(strings.NewReader(regressedSample), &echo, path, true)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate did not reject regressed speedup: %v", err)
+	}
+	// A healthy report passes the gate.
+	echo.Reset()
+	if err := run(strings.NewReader(sample), &echo, "", true); err != nil {
+		t.Fatalf("gate rejected healthy speedup: %v", err)
+	}
+	// A measured ratio just under 1.0 is benchmark noise, not a regression:
+	// on a single-core machine workers=1 and workers=max run the identical
+	// configuration, so a strict < 1.0 gate would fail on a coin flip.
+	noisySample := "BenchmarkFig31Workers/workers=1-8 \t 2\t 800000000 ns/op\n" +
+		"BenchmarkFig31Workers/workers=max-8 \t 2\t 816000000 ns/op\nPASS\n"
+	echo.Reset()
+	if err := run(strings.NewReader(noisySample), &echo, "", true); err != nil {
+		t.Fatalf("gate rejected 0.98x noise-band speedup: %v", err)
+	}
 }
 
 func TestDeriveSpeedups(t *testing.T) {
@@ -102,7 +156,7 @@ func TestDeriveSpeedups(t *testing.T) {
 
 func TestRunNoBenchmarks(t *testing.T) {
 	var echo strings.Builder
-	if err := run(strings.NewReader("PASS\nok\n"), &echo, ""); err == nil {
+	if err := run(strings.NewReader("PASS\nok\n"), &echo, "", false); err == nil {
 		t.Error("empty input accepted")
 	}
 }

@@ -98,6 +98,18 @@ func (s Stats) DenyRate() float64 {
 	return float64(s.Denied) / float64(total)
 }
 
+// primary is the router's bookkeeping for the first (merged) access of a
+// PC within one fetch group.
+type primary struct {
+	slot    int
+	granted bool
+	copies  int
+	last    uint64
+	strideV int64
+	warm    bool
+	conf    bool
+}
+
 // Network is the value-prediction delivery network.
 type Network struct {
 	cfg    Config
@@ -105,6 +117,15 @@ type Network struct {
 	stride predictor.StrideSource // nil if the predictor cannot expand
 	ports  []int                  // per-bank ports used this cycle
 	stats  Stats
+
+	// Per-cycle working set, reused across ProcessGroup calls so the
+	// pipeline hot path allocates nothing per fetch group (DESIGN.md §12):
+	// the reply buffer, the primary-access records, and the PC-to-primary
+	// index (values are indices into prims, not pointers — prims grows by
+	// append and pointers into it would go stale).
+	slots []Slot
+	prims []primary
+	byPC  map[uint64]int
 }
 
 // NewNetwork validates cfg and builds the network.
@@ -122,6 +143,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg:   cfg,
 		mask:  uint64(cfg.Banks - 1),
 		ports: make([]int, cfg.Banks),
+		byPC:  make(map[uint64]int),
 	}
 	if ss, ok := cfg.Predictor.(predictor.StrideSource); ok {
 		n.stride = ss
@@ -147,24 +169,22 @@ func (n *Network) Bank(pc uint64) int { return int((pc >> 2) & n.mask) }
 // ProcessGroup runs one fetch cycle through the network. pcs are the
 // addresses of the value-producing instructions in the fetched trace, in
 // program order (the trace addresses buffer). The returned slice has one
-// Slot per input address.
+// Slot per input address; it is owned by the network and valid only until
+// the next ProcessGroup call (the pipeline consumes it within the cycle).
 func (n *Network) ProcessGroup(pcs []uint64) []Slot {
 	n.stats.Cycles++
-	slots := make([]Slot, len(pcs))
+	if cap(n.slots) < len(pcs) {
+		n.slots = make([]Slot, len(pcs))
+	}
+	slots := n.slots[:len(pcs)]
+	for i := range slots {
+		slots[i] = Slot{}
+	}
 	for i := range n.ports {
 		n.ports[i] = 0
 	}
-	// firstCopy maps a PC to the slot index of its primary (merged) access.
-	type primary struct {
-		slot    int
-		granted bool
-		copies  int
-		last    uint64
-		strideV int64
-		warm    bool
-		conf    bool
-	}
-	byPC := make(map[uint64]*primary, len(pcs))
+	n.prims = n.prims[:0]
+	clear(n.byPC)
 
 	for i, pc := range pcs {
 		n.stats.Requests++
@@ -173,7 +193,8 @@ func (n *Network) ProcessGroup(pcs []uint64) []Slot {
 			slots[i].Denied = true
 			continue
 		}
-		if p, dup := byPC[pc]; dup {
+		if pi, dup := n.byPC[pc]; dup {
+			p := &n.prims[pi]
 			// Duplicate copy: the router merges it onto the primary
 			// access; the distributor expands the stride sequence.
 			p.copies++
@@ -203,8 +224,12 @@ func (n *Network) ProcessGroup(pcs []uint64) []Slot {
 			}
 			continue
 		}
-		p := &primary{slot: i}
-		byPC[pc] = p
+		// New primary: append to prims and index it by PC. The pointer is
+		// only held within this iteration (later appends may move the
+		// slice; the dup branch re-derives it from the index).
+		n.byPC[pc] = len(n.prims)
+		n.prims = append(n.prims, primary{slot: i})
+		p := &n.prims[len(n.prims)-1]
 		bank := n.Bank(pc)
 		if n.ports[bank] >= n.cfg.PortsPerBank {
 			// Bank conflict with an earlier, higher-priority instruction:

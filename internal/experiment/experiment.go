@@ -125,6 +125,23 @@ func (p Params) traces() (map[string][]trace.Rec, error) {
 	}
 	names := p.workloads()
 	st := p.store()
+	if st.Cached(names, p.Seed, p.TraceLen) {
+		// Cell-granularity coarsening: when every trace is already
+		// resident, a grid of per-workload cells is pure dispatch overhead
+		// (each cell would grab a worker token just to sub-slice a cached
+		// entry). Serve the request with plain serial Gets instead — the
+		// store counts the same Hits either way, and the inert Cached probe
+		// itself touches neither counters nor LRU order.
+		out := make(map[string][]trace.Rec, len(names))
+		for _, name := range names {
+			recs, err := st.Get(name, p.Seed, p.TraceLen)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = recs
+		}
+		return out, nil
+	}
 	g := p.newGrid("traces")
 	for _, name := range names {
 		g.cell(name, "", "", func() (any, error) {

@@ -65,10 +65,11 @@ func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Cycles++
 	var g Group
+	start := e.s.pos
 	linesUsed := 0
 	var end uint64
 	newLine := true
-	for len(g.Recs) < maxInsts {
+	for e.s.pos-start < maxInsts {
 		rec, ok := e.s.peek(0)
 		if !ok {
 			break
@@ -92,7 +93,6 @@ func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
 			if counted(rec) {
 				e.stats.Predictions++
 			}
-			g.Recs = append(g.Recs, rec)
 			e.s.advance(1)
 			if !correct {
 				e.stats.Mispredicts++
@@ -106,9 +106,9 @@ func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
 			}
 			continue
 		}
-		g.Recs = append(g.Recs, rec)
 		e.s.advance(1)
 	}
+	g.Recs = e.s.view(start)
 	e.stats.Insts += uint64(len(g.Recs))
 	e.stats.CoreInsts += uint64(len(g.Recs))
 	if e.obs != nil {

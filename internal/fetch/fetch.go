@@ -19,7 +19,12 @@ import (
 
 // Group is the set of instructions delivered in one fetch cycle.
 type Group struct {
-	// Recs are correct-path instructions, in program order.
+	// Recs are correct-path instructions, in program order. The slice is a
+	// read-only view aliasing the engine's underlying trace (DESIGN.md §12,
+	// "Memory discipline"): engines deliver contiguous windows of the
+	// shared immutable record stream instead of copying, so a group costs
+	// no allocation. Callers must not modify the elements; the view itself
+	// stays valid for as long as the trace does.
 	Recs []trace.Rec
 	// Mispredict reports that the last instruction of Recs is a control
 	// transfer the branch predictor got wrong; the pipeline must stall
@@ -34,6 +39,7 @@ type Group struct {
 type Engine interface {
 	// NextGroup returns up to maxInsts instructions. ok=false signals end
 	// of trace (an empty group with ok=true is a legal stall cycle).
+	// g.Recs is a read-only view into the engine's trace — see Group.
 	NextGroup(maxInsts int) (g Group, ok bool)
 	// Stats returns cumulative fetch statistics.
 	Stats() Stats
@@ -89,6 +95,11 @@ func (s *stream) peek(k int) (trace.Rec, bool) {
 }
 
 func (s *stream) advance(n int) { s.pos += n }
+
+// view returns the records consumed since start as a read-only,
+// capacity-capped window of the underlying trace (no copy; callers cannot
+// append into the trace through it).
+func (s *stream) view(start int) []trace.Rec { return s.recs[start:s.pos:s.pos] }
 
 func (s *stream) eof() bool { return s.pos >= len(s.recs) }
 
@@ -190,8 +201,9 @@ func (e *Sequential) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Cycles++
 	var g Group
+	start := e.s.pos
 	taken := 0
-	for len(g.Recs) < maxInsts {
+	for e.s.pos-start < maxInsts {
 		rec, ok := e.s.peek(0)
 		if !ok {
 			break
@@ -201,7 +213,6 @@ func (e *Sequential) NextGroup(maxInsts int) (Group, bool) {
 			if counted(rec) {
 				e.stats.Predictions++
 			}
-			g.Recs = append(g.Recs, rec)
 			e.s.advance(1)
 			if !correct {
 				e.stats.Mispredicts++
@@ -216,9 +227,9 @@ func (e *Sequential) NextGroup(maxInsts int) (Group, bool) {
 			}
 			continue
 		}
-		g.Recs = append(g.Recs, rec)
 		e.s.advance(1)
 	}
+	g.Recs = e.s.view(start)
 	e.stats.Insts += uint64(len(g.Recs))
 	e.stats.CoreInsts += uint64(len(g.Recs))
 	if e.obs != nil {

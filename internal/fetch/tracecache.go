@@ -171,7 +171,6 @@ func (e *TraceCache) tryLine(line *tcLine, maxInsts int) (Group, bool, bool) {
 	for k := 0; k < n; k++ {
 		rec, _ := e.s.peek(k)
 		cut = k + 1
-		g.Recs = append(g.Recs, rec)
 		if rec.Op.IsControl() {
 			correct := e.c.fetchControl(rec)
 			if counted(rec) {
@@ -184,7 +183,9 @@ func (e *TraceCache) tryLine(line *tcLine, maxInsts int) (Group, bool, bool) {
 			}
 		}
 	}
+	start := e.s.pos
 	e.s.advance(cut)
+	g.Recs = e.s.view(start)
 	return g, true, partial
 }
 
@@ -197,8 +198,9 @@ func (e *TraceCache) coreFetch(maxInsts int) Group {
 		limit = maxInsts
 	}
 	var g Group
+	start := e.s.pos
 	taken := 0
-	for len(g.Recs) < limit {
+	for e.s.pos-start < limit {
 		rec, ok := e.s.peek(0)
 		if !ok {
 			break
@@ -208,7 +210,6 @@ func (e *TraceCache) coreFetch(maxInsts int) Group {
 			if counted(rec) {
 				e.stats.Predictions++
 			}
-			g.Recs = append(g.Recs, rec)
 			e.s.advance(1)
 			e.fill(rec)
 			if !correct {
@@ -224,10 +225,10 @@ func (e *TraceCache) coreFetch(maxInsts int) Group {
 			}
 			continue
 		}
-		g.Recs = append(g.Recs, rec)
 		e.s.advance(1)
 		e.fill(rec)
 	}
+	g.Recs = e.s.view(start)
 	e.stats.Insts += uint64(len(g.Recs))
 	e.stats.CoreInsts += uint64(len(g.Recs))
 	return g

@@ -125,6 +125,29 @@ func (w *windowEntry) ready(cycle uint64) bool {
 		w.earliest <= cycle && w.availAt <= cycle
 }
 
+// addDep records one operand dependence on producer p, classifying it the
+// way the paper's protocol does: an already executed producer just bounds
+// availAt; a correctly predicted in-flight producer is speculated past; a
+// consumed misprediction delays until the real value arrives; everything
+// else is a plain wait. A method rather than a closure so the hot fetch
+// loop allocates nothing per instruction.
+func (w *windowEntry) addDep(p *producerInfo) {
+	switch {
+	case p == nil:
+		return
+	case p.done:
+		if at := p.execCycle + 1; at > w.availAt {
+			w.availAt = at
+		}
+	case p.predicted && p.correct:
+		w.specOn = append(w.specOn, p)
+	case p.predicted: // consumed misprediction
+		w.mispredOn = append(w.mispredOn, p)
+	default:
+		w.waitOn = append(w.waitOn, p)
+	}
+}
+
 // resolve folds newly executed producers into availAt.
 func (w *windowEntry) resolve(penalty uint64) {
 	n := 0
@@ -159,9 +182,14 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("ideal: invalid config %+v", cfg)
 	}
 	var res Result
+	// All per-run state comes out of a pooled scratch (scratch.go): the
+	// window entries, the producer bookkeeping and the memory-producer map
+	// are reused across runs instead of reallocated per instruction.
+	s := getScratch()
+	defer putScratch(s)
 	var regProd [32]*producerInfo
-	memProd := make(map[uint64]*producerInfo)
-	window := make([]*windowEntry, 0, cfg.WindowSize)
+	memProd := s.memProd
+	window := s.window[:0]
 	penalty := uint64(cfg.MispredictPenalty)
 
 	o := cfg.Obs // nil when instrumentation is disabled
@@ -196,6 +224,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 						}
 					}
 				}
+				// The entry leaves the window at execute; only its
+				// producerInfo (arena-owned) remains referenced.
+				s.entries.release(w)
 			} else {
 				window[n] = w
 				n++
@@ -212,7 +243,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 				eof = true
 				break
 			}
-			w := &windowEntry{seq: rec.Seq, fetchedAt: cycle, earliest: cycle + 2, prod: &producerInfo{}}
+			w := s.entries.alloc()
+			w.seq, w.fetchedAt, w.earliest = rec.Seq, cycle, cycle+2
+			w.prod = s.producers.alloc()
 
 			fetched++
 
@@ -240,30 +273,14 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 				cfg.Predictor.Update(rec.PC, rec.Val)
 			}
 
-			addDep := func(p *producerInfo) {
-				switch {
-				case p == nil:
-					return
-				case p.done:
-					if at := p.execCycle + 1; at > w.availAt {
-						w.availAt = at
-					}
-				case p.predicted && p.correct:
-					w.specOn = append(w.specOn, p)
-				case p.predicted: // consumed misprediction
-					w.mispredOn = append(w.mispredOn, p)
-				default:
-					w.waitOn = append(w.waitOn, p)
-				}
-			}
 			if rec.Op.ReadsRs1() && rec.Rs1 != 0 {
-				addDep(regProd[rec.Rs1])
+				w.addDep(regProd[rec.Rs1])
 			}
 			if rec.Op.ReadsRs2() && rec.Rs2 != 0 {
-				addDep(regProd[rec.Rs2])
+				w.addDep(regProd[rec.Rs2])
 			}
 			if cfg.IncludeMemoryDeps && rec.Op.IsLoad() {
-				addDep(memProd[rec.Addr])
+				w.addDep(memProd[rec.Addr])
 			}
 
 			if rec.WritesValue() {
@@ -287,6 +304,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		cycle++
 	}
 	res.Cycles = cycle
+	// Hand the (possibly grown) window backing store back to the scratch
+	// so the next run reuses its capacity.
+	s.window = window[:0]
 	if o != nil {
 		o.RunDone(res.Insts, res.Cycles, res.Correct, res.Used)
 	}

@@ -167,11 +167,31 @@ type entry struct {
 	earliest  uint64
 	availAt   uint64
 	executed  bool
+	left      bool // removed from the window (recycling gate, see scratch.go)
 	execCycle uint64
 	prod      *producerInfo
 	waitOn    []*producerInfo
 	mispredOn []*producerInfo
 	specOn    []*producerInfo
+}
+
+// addDep records one operand dependence on producer p (a method rather
+// than a closure so ingest allocates nothing per instruction).
+func (w *entry) addDep(p *producerInfo) {
+	switch {
+	case p == nil:
+		return
+	case p.done:
+		if at := p.execCycle + 1; at > w.availAt {
+			w.availAt = at
+		}
+	case p.predicted && p.correct:
+		w.specOn = append(w.specOn, p)
+	case p.predicted:
+		w.mispredOn = append(w.mispredOn, p)
+	default:
+		w.waitOn = append(w.waitOn, p)
+	}
 }
 
 func (w *entry) ready(cycle uint64) bool {
@@ -215,10 +235,15 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("pipeline: set either Predictor or Network, not both")
 	}
 	var res Result
+	// All per-run state comes out of a pooled scratch (scratch.go): window
+	// entries, producer bookkeeping, the memory-producer map and the
+	// network lookup buffers are reused across runs instead of being
+	// reallocated per instruction.
+	s := getScratch()
+	defer putScratch(s)
 	var regProd [32]*producerInfo
-	memProd := make(map[uint64]*producerInfo)
 	// window holds entries from fetch to commit, in program order.
-	window := make([]*entry, 0, cfg.WindowSize)
+	window := s.window[:0]
 	valuePenalty := uint64(cfg.ValuePenalty)
 
 	o := cfg.Obs // nil when instrumentation is disabled
@@ -235,13 +260,26 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 		// cycle, one cycle after execute.
 		committed := 0
 		if cfg.HoldUntilCommit {
-			for len(window) > 0 && committed < cfg.Width {
-				head := window[0]
+			for committed < len(window) && committed < cfg.Width {
+				head := window[committed]
 				if !head.executed || head.execCycle >= cycle {
 					break
 				}
-				window = window[1:]
 				committed++
+			}
+			if committed > 0 {
+				// Retire by compacting toward the front so the window's
+				// backing array (scratch-owned) never drifts; committed
+				// entries recycle unless the fetch stage still consults
+				// one as the stall gate.
+				for _, w := range window[:committed] {
+					w.left = true
+					if w != stallOn {
+						s.entries.release(w)
+					}
+				}
+				n := copy(window, window[committed:])
+				window = window[:n]
 			}
 		}
 
@@ -272,7 +310,13 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 						}
 					}
 					if !cfg.HoldUntilCommit {
-						continue // slot freed at execute
+						// Slot freed at execute; recycle unless the fetch
+						// stage still consults this entry as the stall gate.
+						w.left = true
+						if w != stallOn {
+							s.entries.release(w)
+						}
+						continue
 					}
 				}
 			}
@@ -288,6 +332,11 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 		canFetch := !eof
 		if stallOn != nil {
 			if stallOn.executed && cycle >= stallOn.execCycle+uint64(cfg.BranchPenalty) {
+				if stallOn.left {
+					// The entry left the window while it was the stall
+					// gate; it is finally unreferenced — recycle it.
+					s.entries.release(stallOn)
+				}
 				stallOn = nil
 			} else {
 				canFetch = false
@@ -315,11 +364,11 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 				if !ok {
 					eof = true
 				} else {
-					entries := ingest(g.Recs, cycle, cfg, &res, regProd[:], memProd)
-					window = append(window, entries...)
-					fetched = len(entries)
-					if g.Mispredict && len(entries) > 0 {
-						stallOn = entries[len(entries)-1]
+					before := len(window)
+					window = ingest(g.Recs, cycle, cfg, &res, regProd[:], s, window)
+					fetched = len(window) - before
+					if g.Mispredict && fetched > 0 {
+						stallOn = window[len(window)-1]
 					}
 				}
 			}
@@ -345,39 +394,48 @@ func Run(eng fetch.Engine, cfg Config) (Result, error) {
 	}
 	res.Cycles = cycle
 	res.Fetch = eng.Stats()
+	// Hand the (possibly grown) window backing store back to the scratch
+	// so the next run reuses its capacity.
+	s.window = window[:0]
 	if o != nil {
 		o.RunDone(res.Insts, res.Cycles, res.Correct, res.Used)
 	}
 	return res, nil
 }
 
-// ingest turns a fetch group into window entries: it performs the group's
-// value-prediction lookups (directly or through the network), wires
-// dependence edges and publishes producers.
+// ingest turns a fetch group into window entries appended to window: it
+// performs the group's value-prediction lookups (directly or through the
+// network), wires dependence edges and publishes producers. Entries and
+// producer records come out of the run's scratch, so ingest allocates
+// nothing per instruction on the steady-state path.
 func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
-	regProd []*producerInfo, memProd map[uint64]*producerInfo) []*entry {
+	regProd []*producerInfo, s *scratch, window []*entry) []*entry {
 
-	entries := make([]*entry, 0, len(recs))
+	memProd := s.memProd
 
 	// Network mode performs all lookups for the group first (the banked
 	// table is read once per cycle), then updates after wiring.
 	var slots []core.Slot
 	var slotIdx []int // entry index -> slot index, -1 for non-writers
 	if cfg.Network != nil {
-		var pcs []uint64
-		slotIdx = make([]int, len(recs))
-		for i, rec := range recs {
-			slotIdx[i] = -1
+		pcs := s.pcs[:0]
+		slotIdx = s.slotIdx[:0]
+		for _, rec := range recs {
+			si := -1
 			if rec.WritesValue() {
-				slotIdx[i] = len(pcs)
+				si = len(pcs)
 				pcs = append(pcs, rec.PC)
 			}
+			slotIdx = append(slotIdx, si)
 		}
+		s.pcs, s.slotIdx = pcs, slotIdx
 		slots = cfg.Network.ProcessGroup(pcs)
 	}
 
 	for i, rec := range recs {
-		w := &entry{rec: rec, earliest: cycle + 2, prod: &producerInfo{}}
+		w := s.entries.alloc()
+		w.rec, w.earliest = rec, cycle+2
+		w.prod = s.producers.alloc()
 
 		if rec.WritesValue() {
 			switch {
@@ -417,30 +475,14 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 			}
 		}
 
-		addDep := func(p *producerInfo) {
-			switch {
-			case p == nil:
-				return
-			case p.done:
-				if at := p.execCycle + 1; at > w.availAt {
-					w.availAt = at
-				}
-			case p.predicted && p.correct:
-				w.specOn = append(w.specOn, p)
-			case p.predicted:
-				w.mispredOn = append(w.mispredOn, p)
-			default:
-				w.waitOn = append(w.waitOn, p)
-			}
-		}
 		if rec.Op.ReadsRs1() && rec.Rs1 != 0 {
-			addDep(regProd[rec.Rs1])
+			w.addDep(regProd[rec.Rs1])
 		}
 		if rec.Op.ReadsRs2() && rec.Rs2 != 0 {
-			addDep(regProd[rec.Rs2])
+			w.addDep(regProd[rec.Rs2])
 		}
 		if cfg.IncludeMemoryDeps && rec.Op.IsLoad() {
-			addDep(memProd[rec.Addr])
+			w.addDep(memProd[rec.Addr])
 		}
 
 		if rec.WritesValue() {
@@ -449,7 +491,7 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 		if cfg.IncludeMemoryDeps && rec.Op.IsStore() {
 			memProd[rec.Addr] = w.prod
 		}
-		entries = append(entries, w)
+		window = append(window, w)
 	}
 
 	// Network mode: speculative updates corrected with committed values.
@@ -460,5 +502,5 @@ func ingest(recs []trace.Rec, cycle uint64, cfg Config, res *Result,
 			}
 		}
 	}
-	return entries
+	return window
 }

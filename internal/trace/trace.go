@@ -93,9 +93,21 @@ func (s *SliceSource) Reset() { s.pos = 0 }
 func (s *SliceSource) Len() int { return len(s.recs) }
 
 // Collect drains a Source into a slice, stopping after max records
-// (max <= 0 means no limit).
+// (max <= 0 means no limit). The output is sized up front — to max, or to
+// the source's known length when it exposes one (e.g. SliceSource) —
+// instead of growing a nil slice by repeated doubling through
+// multi-megabyte traces.
 func Collect(src Source, max int) []Rec {
+	capHint := max
+	if l, ok := src.(interface{ Len() int }); ok {
+		if n := l.Len(); capHint <= 0 || n < capHint {
+			capHint = n
+		}
+	}
 	var out []Rec
+	if capHint > 0 {
+		out = make([]Rec, 0, capHint)
+	}
 	for {
 		if max > 0 && len(out) >= max {
 			return out

@@ -208,6 +208,23 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 	}
 }
 
+// Cached reports whether every named workload's trace for (seed, n) is
+// already resident. The probe is deliberately inert: it does not touch
+// LRU order and counts neither hits nor misses, so callers can use it to
+// pick a cheaper all-hit path (see experiment's trace loading) without
+// perturbing the cache's behaviour counters or eviction decisions.
+func (s *Store) Cached(names []string, seed int64, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		e, ok := s.entries[key{workload: name, seed: seed}]
+		if !ok || len(e.recs) < n {
+			return false
+		}
+	}
+	return true
+}
+
 // insert stores recs under k (replacing any shorter entry) and evicts
 // least-recently-used entries until the record bound holds. Called with
 // s.mu held. A trace larger than the whole bound is returned to the caller
