@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-gate bench-smoke bench-tracestore serve-smoke clean
+.PHONY: check build vet lint lint-json test race bench bench-gate bench-smoke bench-tracestore serve-smoke clean
 
 # check is the CI gate: static analysis (go vet + the custom vplint
 # suite), a full build, and the test suite under the race detector (the
@@ -14,11 +14,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repository's own analyzers (detlint, errlint, keyedlint,
-# mutexlint — see DESIGN.md "Determinism contract & lint suite") over every
-# package and fails on any diagnostic.
+# lint runs the repository's own analyzers (aliaslint, ctxlint, detlint,
+# doclint, errlint, keyedlint, mutexlint, poollint — see DESIGN.md
+# "Determinism contract & lint suite") over every package and fails on any
+# diagnostic.
 lint:
 	$(GO) run ./cmd/vplint ./...
+
+# lint-json writes the same diagnostics as a stable JSON report
+# (vplint.json, schema documented in cmd/vplint) for CI artifacts and
+# tooling; like lint, it exits non-zero if anything fires.
+lint-json:
+	$(GO) run ./cmd/vplint -json ./... > vplint.json
 
 test:
 	$(GO) test ./...

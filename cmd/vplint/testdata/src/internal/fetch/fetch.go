@@ -1,0 +1,20 @@
+// Package fetch is the known-bad fixture's aliaslint target: a marked
+// delivery view that a non-owner function grows in place.
+package fetch
+
+// Rec is one delivered record.
+type Rec struct {
+	PC uint64
+}
+
+// Group is a delivery window over shared storage.
+type Group struct {
+	//lint:view
+	Recs []Rec
+}
+
+// Pad grows the delivered view in place, clobbering the producer's
+// backing array.
+func Pad(g *Group) {
+	g.Recs = append(g.Recs, Rec{}) // aliaslint fires here
+}

@@ -1,0 +1,24 @@
+// Package ideal is the known-bad fixture's poollint target: a pooled
+// scratch struct whose reset misses a field.
+package ideal
+
+import "sync"
+
+type scratch struct {
+	window []int
+	cursor int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Run recycles a scratch but only clears window; cursor carries a stale
+// value from the previous run.
+func Run(n int) int {
+	s := pool.Get().(*scratch) // poollint fires here: cursor not reset
+	defer pool.Put(s)
+	s.window = s.window[:0]
+	for i := 0; i < n; i++ {
+		s.window = append(s.window, i)
+	}
+	return len(s.window)
+}

@@ -1,0 +1,12 @@
+// Package serve is the known-bad fixture's ctxlint target: a request
+// handler that mints its own root context.
+package serve
+
+import "context"
+
+// Handle detaches the run from the caller's cancellation.
+func Handle(id string) error {
+	return runCtx(context.Background(), id) // ctxlint fires here
+}
+
+func runCtx(ctx context.Context, id string) error { return ctx.Err() }

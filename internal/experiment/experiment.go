@@ -261,7 +261,7 @@ func (p Params) preloadAsync(seed int64) {
 				return st.Get(name, seed, ps.TraceLen)
 			})
 		}
-		g.run() //vplint:ignore errlint any generation error is re-reported by the foreground Get
+		g.run() //lint:ignore errlint any generation error is re-reported by the foreground Get
 	}()
 }
 

@@ -24,7 +24,9 @@ type Group struct {
 	// "Memory discipline"): engines deliver contiguous windows of the
 	// shared immutable record stream instead of copying, so a group costs
 	// no allocation. Callers must not modify the elements; the view itself
-	// stays valid for as long as the trace does.
+	// stays valid for as long as the trace does. The marker below makes
+	// aliaslint enforce that discipline mechanically.
+	//lint:view
 	Recs []trace.Rec
 	// Mispredict reports that the last instruction of Recs is a control
 	// transfer the branch predictor got wrong; the pipeline must stall

@@ -1,0 +1,392 @@
+// Package aliaslint enforces the zero-copy ownership contract of
+// DESIGN.md §12: slices marked with a `//lint:view` comment on their field
+// declaration — fetch.Group.Recs and the network's reused group buffers —
+// are read-only views aliasing memory someone else owns (the shared
+// immutable trace, a reused per-cycle arena). Writing through such a view,
+// appending into it, re-slicing it out to its capacity, parking it in a
+// struct field or package variable, or capturing it in a goroutine all
+// corrupt state that other cells, workers or cycles are concurrently
+// reading — the exact class of bug PR 6 traded for its ~4200× allocation
+// win when it replaced copies with conventions.
+//
+// The owning type itself is exempt: methods whose receiver is the type
+// declaring a view field may manage that field's backing storage (the
+// network rebuilds slots/prims every cycle; the fetch engines rebind
+// Group.Recs per group). Everyone else treats the view as frozen.
+//
+// View-ness crosses package boundaries through the driver's fact store:
+// analyzing the declaring package exports one fact per marked field, and
+// consumer packages (analyzed later — the loader orders packages
+// dependency-first) import them, so internal/pipeline cannot append into
+// fetch.Group.Recs no matter which package the slice was declared in.
+package aliaslint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/scope"
+)
+
+// Marker is the comment directive that declares a struct field to be a
+// read-only view.
+const Marker = "//lint:view"
+
+// Analyzer is the view-ownership check.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliaslint",
+	Doc: "forbid appending to, writing through, capacity re-slicing, storing " +
+		"(struct field / package var) or goroutine capture of slices marked " +
+		"//lint:view (read-only views of shared memory) inside the zero-copy " +
+		"packages; the declaring type's own methods are exempt",
+	Run: run,
+}
+
+// fieldKey returns the stable fact key of a struct field:
+// "<pkg path>.<Type>.<Field>".
+func fieldKey(pkgPath, typeName, field string) string {
+	return pkgPath + "." + typeName + "." + field
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Export the view markers of this package unconditionally — a package
+	// outside the alias scope may still declare views its consumers must
+	// respect.
+	exportMarkers(pass)
+	if !scope.Member(scope.Alias, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// exportMarkers records a fact for every //lint:view-marked field declared
+// in this package.
+func exportMarkers(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					if !hasMarker(f) {
+						continue
+					}
+					for _, name := range f.Names {
+						pass.ExportFact(fieldKey(pass.Pkg.Path(), ts.Name.Name, name.Name), true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasMarker reports whether the field carries a //lint:view directive in
+// its doc comment or line comment.
+func hasMarker(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// viewField resolves sel to a view-marked struct field, returning the
+// owning named type, or nil if sel is not a marked field selection.
+func viewField(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Named {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return nil
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	key := fieldKey(named.Obj().Pkg().Path(), named.Obj().Name(), field.Name())
+	if _, marked := pass.ImportFact(key); !marked {
+		return nil
+	}
+	return named
+}
+
+// checkFunc applies the view rules to one function. exempt is the named
+// type (if any) whose views this function may legally manage: the method
+// receiver's base type.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var exempt *types.Named
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			exempt = named
+		}
+	}
+	tainted := taintedLocals(pass, fd, exempt)
+
+	// isView reports whether e denotes a view: a marked field selection
+	// (of a non-exempt owner), a view-tainted local, or a re-slice/paren
+	// of either.
+	var isView func(e ast.Expr) bool
+	isView = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return isView(e.X)
+		case *ast.SliceExpr:
+			return isView(e.X)
+		case *ast.SelectorExpr:
+			owner := viewField(pass, e)
+			return owner != nil && !sameNamed(owner, exempt)
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+				return tainted[v]
+			}
+		}
+		return false
+	}
+
+	var inGo int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Everything referenced under the go statement — arguments and
+			// the spawned body alike — outlives the current delivery.
+			save := inGo
+			inGo++
+			ast.Inspect(n.Call, walk)
+			inGo = save
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, isView)
+		case *ast.AssignStmt:
+			checkAssign(pass, n, isView)
+		case *ast.SliceExpr:
+			checkCapReslice(pass, n, isView)
+		case *ast.SelectorExpr:
+			if inGo > 0 {
+				if owner := viewField(pass, n); owner != nil && !sameNamed(owner, exempt) {
+					pass.Reportf(n.Pos(),
+						"view %s.%s is captured by a goroutine that may outlive its delivery; copy the records instead", exprString(n.X), n.Sel.Name)
+				}
+			}
+		case *ast.Ident:
+			if inGo > 0 && isView(n) {
+				pass.Reportf(n.Pos(),
+					"view %s is captured by a goroutine that may outlive its delivery; copy the records instead", n.Name)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// taintedLocals computes the function's view-tainted local variables: a
+// local assigned (directly, or through a re-slice) from a view expression
+// is itself a view. The propagation iterates to a small fixpoint so chains
+// of rebindings are caught.
+func taintedLocals(pass *analysis.Pass, fd *ast.FuncDecl, exempt *types.Named) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	source := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				owner := viewField(pass, x)
+				return owner != nil && !sameNamed(owner, exempt)
+			case *ast.Ident:
+				if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+					return tainted[v]
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		changed := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !source(as.Rhs[j]) {
+					continue
+				}
+				var v *types.Var
+				if obj, ok := pass.TypesInfo.Defs[id]; ok {
+					v, _ = obj.(*types.Var)
+				} else if obj, ok := pass.TypesInfo.Uses[id]; ok {
+					v, _ = obj.(*types.Var)
+				}
+				if v != nil && !tainted[v] {
+					tainted[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return tainted
+}
+
+// checkCall flags append with a view as its destination.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, isView func(ast.Expr) bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+		return
+	}
+	if isView(call.Args[0]) {
+		pass.Reportf(call.Pos(),
+			"append writes into %s, a read-only view of shared memory; build the result in a caller-owned slice", exprString(call.Args[0]))
+	}
+}
+
+// checkAssign flags element writes through a view and stores of a view
+// into a struct field or package-level variable.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, isView func(ast.Expr) bool) {
+	for _, lhs := range as.Lhs {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			if isView(l.X) {
+				pass.Reportf(l.Pos(),
+					"assignment writes through %s, a read-only view of shared memory", exprString(l.X))
+			}
+		case *ast.SelectorExpr:
+			// view[i].F = v — writing a field of a viewed element.
+			if idx, ok := l.X.(*ast.IndexExpr); ok && isView(idx.X) {
+				pass.Reportf(l.Pos(),
+					"assignment writes through %s, a read-only view of shared memory", exprString(idx.X))
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isView(rhs) {
+			continue
+		}
+		switch l := as.Lhs[i].(type) {
+		case *ast.SelectorExpr:
+			// Storing into a field that is itself declared a view is the
+			// construction idiom (engines rebind Group.Recs per group);
+			// only escapes into unmarked fields are flagged.
+			if viewField(pass, l) != nil {
+				continue
+			}
+			if sel, ok := pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(as.Pos(),
+					"view %s is stored in struct field %s, outliving its delivery; copy the records instead", exprString(rhs), l.Sel.Name)
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[l].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(as.Pos(),
+					"view %s is stored in package variable %s, outliving its delivery; copy the records instead", exprString(rhs), l.Name)
+			}
+		}
+	}
+}
+
+// checkCapReslice flags re-slicing a view with a bound derived from its
+// capacity: a capacity-capped view deliberately hides trailing records of
+// the shared backing array, and cap-based re-slicing is the one slice
+// operation that can reach past the delivered window.
+func checkCapReslice(pass *analysis.Pass, se *ast.SliceExpr, isView func(ast.Expr) bool) {
+	if !isView(se.X) {
+		return
+	}
+	for _, bound := range []ast.Expr{se.High, se.Max} {
+		if bound == nil {
+			continue
+		}
+		usesCap := false
+		ast.Inspect(bound, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					usesCap = true
+					return false
+				}
+			}
+			return true
+		})
+		if usesCap {
+			pass.Reportf(se.Pos(),
+				"re-slicing %s to its capacity reaches past the delivered view into shared memory", exprString(se.X))
+			return
+		}
+	}
+}
+
+// sameNamed reports whether two named types denote the same declaration,
+// comparing their TypeName objects so the test is stable across
+// type-checker instances.
+func sameNamed(a, b *types.Named) bool {
+	return a != nil && b != nil && a.Obj() == b.Obj()
+}
+
+// exprString renders a small expression for a diagnostic message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "the view"
+}

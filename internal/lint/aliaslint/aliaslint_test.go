@@ -1,0 +1,15 @@
+package aliaslint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/aliaslint"
+	"valuepred/internal/lint/analysistest"
+)
+
+// TestAliaslint runs the fixture module: the declaring package (owner
+// exemption, every same-package rule), the importing package (facts across
+// the package boundary) and the out-of-scope package (no diagnostics).
+func TestAliaslint(t *testing.T) {
+	analysistest.Run(t, "testdata", aliaslint.Analyzer, "./...")
+}

@@ -1,0 +1,117 @@
+// Package fetch is the aliaslint fixture's declaring package: it marks
+// Group.Recs as a //lint:view slice, exercises the owner exemption (the
+// declaring type's methods may manage the field) and carries same-package
+// violations of every rule.
+package fetch
+
+// Rec stands in for trace.Rec.
+type Rec struct {
+	PC  uint64
+	Val uint64
+}
+
+// Group is the delivered fetch group; Recs aliases the shared trace.
+type Group struct {
+	// Recs is a read-only window of the shared immutable trace.
+	//lint:view
+	Recs []Rec
+	// Scratch is an ordinary owned slice: no marker, no restrictions.
+	Scratch []Rec
+}
+
+// Engine owns a trace and delivers groups.
+type Engine struct {
+	recs []Rec
+	pos  int
+}
+
+// NextGroup legally rebinds the view field: storing a window into a
+// marked field is the construction idiom, not an escape.
+func (e *Engine) NextGroup(n int) Group {
+	start := e.pos
+	e.pos += n
+	g := Group{}
+	g.Recs = e.recs[start:e.pos:e.pos]
+	return g
+}
+
+// Reset is the owner exemption at work: Group's own methods may manage
+// the marked field's backing storage.
+func (g *Group) Reset() {
+	g.Recs = append(g.Recs[:0], Rec{})
+	g.Recs[0] = Rec{}
+}
+
+var leaked []Rec
+
+// badAppend grows the view in place, clobbering the trace records that
+// follow the delivered window.
+func badAppend(g Group) {
+	g.Recs = append(g.Recs, Rec{}) // want `append writes into g\.Recs, a read-only view`
+}
+
+// badElementWrite writes through the view.
+func badElementWrite(g Group) {
+	g.Recs[0] = Rec{} // want `assignment writes through g\.Recs, a read-only view`
+}
+
+// badFieldWrite writes one field of a viewed element.
+func badFieldWrite(g Group) {
+	g.Recs[0].Val = 7 // want `assignment writes through g\.Recs, a read-only view`
+}
+
+// badStore parks the view in a package variable, outliving the delivery.
+func badStore(g Group) {
+	leaked = g.Recs // want `view g\.Recs is stored in package variable leaked`
+}
+
+// holder is long-lived state a view must not escape into.
+type holder struct {
+	kept []Rec
+}
+
+// badFieldStore parks the view in an unmarked struct field.
+func badFieldStore(h *holder, g Group) {
+	h.kept = g.Recs // want `view g\.Recs is stored in struct field kept`
+}
+
+// badCapReslice reaches past the delivered window.
+func badCapReslice(g Group) []Rec {
+	return g.Recs[:cap(g.Recs)] // want `re-slicing g\.Recs to its capacity reaches past the delivered view`
+}
+
+// badGoCapture hands the view to a goroutine that outlives the delivery.
+func badGoCapture(g Group, done chan struct{}) {
+	go func() {
+		_ = g.Recs[0] // want `view g\.Recs is captured by a goroutine`
+		close(done)
+	}()
+}
+
+// badTaintedLocal shows the taint propagation: a local rebound from the
+// view is still the view.
+func badTaintedLocal(g Group) {
+	recs := g.Recs
+	window := recs[1:]
+	window[0] = Rec{} // want `assignment writes through window, a read-only view`
+}
+
+// goodReads exercises every legal consumption pattern: indexing, ranging,
+// len/cap, sub-slicing within bounds, copying out, and appending the view
+// as a *source* into a caller-owned destination.
+func goodReads(g Group) (uint64, []Rec) {
+	var sum uint64
+	for _, r := range g.Recs {
+		sum += r.Val
+	}
+	if len(g.Recs) > 0 {
+		sum += g.Recs[0].Val
+	}
+	head := g.Recs[:1]
+	out := make([]Rec, 0, len(g.Recs))
+	out = append(out, g.Recs...)
+	copy(out, head)
+	g.Scratch = append(g.Scratch, Rec{}) // unmarked field: no restrictions
+	g.Scratch[0] = Rec{}
+	return sum, out
+}

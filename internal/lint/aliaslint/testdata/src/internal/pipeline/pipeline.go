@@ -1,0 +1,33 @@
+// Package pipeline is the aliaslint fixture's consuming package: it
+// imports the view-marked Group from fix/internal/fetch, proving that
+// view-ness crosses package boundaries through the driver's fact store
+// (the declaring package is analyzed first; this one reads its facts).
+package pipeline
+
+import "fix/internal/fetch"
+
+// machine is long-lived per-run state.
+type machine struct {
+	pending []fetch.Rec
+}
+
+// badCrossPackageAppend appends into a view declared one package away.
+func badCrossPackageAppend(g fetch.Group) {
+	g.Recs = append(g.Recs, fetch.Rec{}) // want `append writes into g\.Recs, a read-only view`
+}
+
+// badCrossPackageStore parks a foreign view in machine state.
+func (m *machine) badCrossPackageStore(g fetch.Group) {
+	m.pending = g.Recs // want `view g\.Recs is stored in struct field pending`
+}
+
+// goodIngest consumes the view the way the real pipeline does: reads,
+// ranges, and copies into owned storage.
+func (m *machine) goodIngest(g fetch.Group) uint64 {
+	var sum uint64
+	for _, r := range g.Recs {
+		sum += r.Val
+	}
+	m.pending = append(m.pending[:0], g.Recs...)
+	return sum
+}

@@ -1,0 +1,19 @@
+// Package stats is the aliaslint fixture's out-of-scope package: it is
+// not in the registry's alias contract, so even a marked view may be
+// violated here without a diagnostic (the file proves the analyzer's
+// scoping, i.e. that the check can pass as well as fail).
+package stats
+
+// Row carries a marked view that the alias contract nevertheless does not
+// guard in this package.
+type Row struct {
+	Cells []float64 //lint:view
+}
+
+// Mutate would be three diagnostics inside the alias scope; here it must
+// be silent.
+func Mutate(r Row) {
+	r.Cells = append(r.Cells, 1)
+	r.Cells[0] = 2
+	copy(r.Cells, r.Cells)
+}

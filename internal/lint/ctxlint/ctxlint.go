@@ -1,0 +1,170 @@
+// Package ctxlint enforces the cooperative-cancellation discipline of the
+// request and cell paths (DESIGN.md §11–§12): vpserve's per-run timeouts
+// and graceful drain only work because every layer between the HTTP
+// handler and the simulation checkpoints passes one context down and
+// checks it between units of work. Inside the registry's ctx-scoped
+// packages (serve, plan, experiment):
+//
+//   - a function that takes a context.Context must take it as its first
+//     parameter (the Go convention every caller and wrapper relies on;
+//     a buried ctx parameter is how a wrapper ends up threading the wrong
+//     context);
+//   - context.Background() and context.TODO() are forbidden — a request
+//     or cell path that mints its own root context detaches itself from
+//     the caller's cancellation. The rare legitimate root (a server's
+//     base context, a nil-ctx compatibility default) carries a
+//     //lint:ignore ctxlint <reason> directive;
+//   - a loop that calls a RunCtx-style API (a function or method whose
+//     name ends in "Ctx") must check ctx.Err() or select on ctx.Done()
+//     in its body: each iteration launches cancellable work, so the loop
+//     itself must be able to stop between iterations instead of feeding
+//     an aborted run another cell.
+package ctxlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/scope"
+)
+
+// Analyzer is the cancellation-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxlint",
+	Doc: "in the request/cell-path packages: context.Context must be the first " +
+		"parameter, context.Background()/TODO() are forbidden (suppress a " +
+		"legitimate root with a reasoned //lint:ignore), and loops calling " +
+		"*Ctx APIs must check ctx.Err() or ctx.Done() between iterations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Member(scope.Ctx, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkParamOrder(pass, n.Type)
+		case *ast.FuncLit:
+			checkParamOrder(pass, n.Type)
+		case *ast.CallExpr:
+			checkRootContext(pass, n)
+		case *ast.ForStmt:
+			checkLoop(pass, n, n.Body)
+		case *ast.RangeStmt:
+			checkLoop(pass, n, n.Body)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkParamOrder flags context.Context parameters that are not first.
+func checkParamOrder(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if t != nil && isContextType(t) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter, not parameter %d", idx+1)
+		}
+		idx += n
+	}
+}
+
+// checkRootContext flags context.Background() and context.TODO().
+func checkRootContext(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		pass.Reportf(call.Pos(),
+			"context.%s mints a root context inside a request/cell path, detaching it from the caller's cancellation; thread the caller's ctx instead", fn.Name())
+	}
+}
+
+// checkLoop requires a cancellation check in loops that call *Ctx APIs.
+func checkLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	var callee string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested closure runs on its own schedule
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		default:
+			return true
+		}
+		if strings.HasSuffix(name, "Ctx") && len(name) > len("Ctx") {
+			callee = name
+			return false
+		}
+		return true
+	})
+	if callee == "" {
+		return
+	}
+	if hasCtxGuard(pass, body) {
+		return
+	}
+	pass.Reportf(loop.Pos(),
+		"loop calls %s without checking ctx.Err() or ctx.Done() between iterations; a canceled run would keep launching work", callee)
+}
+
+// hasCtxGuard reports whether body references Err or Done on a
+// context-typed value (an `if ctx.Err() != nil` checkpoint or a select on
+// ctx.Done()).
+func hasCtxGuard(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

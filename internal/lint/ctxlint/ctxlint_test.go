@@ -1,0 +1,15 @@
+package ctxlint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/ctxlint"
+)
+
+// TestCtxlint runs the fixture module: guarded loops and ctx-first
+// signatures accepted, buried/minted/unguarded contexts rejected, and the
+// out-of-scope package left silent.
+func TestCtxlint(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxlint.Analyzer, "./...")
+}

@@ -1,0 +1,76 @@
+// Package serve is the ctxlint fixture: request-path code that must
+// thread one cancellation context end to end. Each rule has an accepting
+// and a rejecting case.
+package serve
+
+import "context"
+
+// RunCtx stands in for the cancellable simulation entry point.
+func RunCtx(ctx context.Context, id string) error { return ctx.Err() }
+
+// goodFirst threads the caller's context, first parameter, loop guarded.
+func goodFirst(ctx context.Context, ids []string) error {
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := RunCtx(ctx, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodSelectLoop guards with a select on Done instead of Err.
+func goodSelectLoop(ctx context.Context, ids []string) error {
+	for _, id := range ids {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := RunCtx(ctx, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// badSecond buries the context behind another parameter.
+func badSecond(id string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return RunCtx(ctx, id)
+}
+
+// badLitSecond is the same violation in a function literal.
+var badLitSecond = func(id string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return RunCtx(ctx, id)
+}
+
+// badRoot mints a root context mid-request.
+func badRoot(id string) error {
+	return RunCtx(context.Background(), id) // want `context\.Background mints a root context`
+}
+
+// badTODO hides behind TODO.
+func badTODO(id string) error {
+	return RunCtx(context.TODO(), id) // want `context\.TODO mints a root context`
+}
+
+// badUnguardedLoop keeps feeding an aborted run more cells.
+func badUnguardedLoop(ctx context.Context, ids []string) error {
+	for _, id := range ids { // want `loop calls RunCtx without checking ctx\.Err\(\) or ctx\.Done\(\)`
+		if err := RunCtx(ctx, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodNoCtxLoop calls nothing cancellable; no guard required.
+func goodNoCtxLoop(ids []string) int {
+	n := 0
+	for range ids {
+		n++
+	}
+	return n
+}

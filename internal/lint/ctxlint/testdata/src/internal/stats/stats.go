@@ -1,0 +1,21 @@
+// Package stats is the ctxlint fixture's out-of-scope package: it is not
+// on a request or cell path, so the same shapes draw no diagnostics.
+package stats
+
+import "context"
+
+// LoadCtx is free to sit second here: the package is outside the ctx
+// contract.
+func LoadCtx(path string, ctx context.Context) error {
+	return RefreshCtx(context.Background(), path)
+}
+
+// RefreshCtx loops unguarded, legally.
+func RefreshCtx(ctx context.Context, path string) error {
+	for i := 0; i < 3; i++ {
+		if err := LoadCtx(path, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

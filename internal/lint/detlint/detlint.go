@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/scope"
 )
 
 // Analyzer is the determinism check.
@@ -30,30 +31,14 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// restricted names the internal packages bound by the determinism
-// contract. The analyzer fires only in packages whose import path contains
-// an "internal" element and ends in one of these names; cmd/ and the
-// public facade are covered indirectly because everything they emit comes
-// from these packages.
-var restricted = map[string]bool{
-	"emu": true, "fetch": true, "pipeline": true, "predictor": true,
-	"experiment": true, "stats": true, "trace": true, "workload": true,
-	"ideal": true, "dfg": true, "btb": true, "core": true, "obs": true,
-	"tracestore": true, "plan": true,
-}
-
 // Applies reports whether pkgPath is bound by the determinism contract.
+// The member list lives in the shared scoping registry
+// (internal/lint/scope): the analyzer fires only in internal packages the
+// registry binds to scope.Determinism; cmd/ and the public facade are
+// covered indirectly because everything they emit comes from these
+// packages.
 func Applies(pkgPath string) bool {
-	parts := strings.Split(pkgPath, "/")
-	if !restricted[parts[len(parts)-1]] {
-		return false
-	}
-	for _, p := range parts[:len(parts)-1] {
-		if p == "internal" {
-			return true
-		}
-	}
-	return false
+	return scope.Member(scope.Determinism, pkgPath)
 }
 
 // randAllowed lists math/rand package-level functions that do not touch
@@ -147,7 +132,7 @@ func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 // each of these bakes nondeterministic ordering into a result. Order-free
 // bodies (summing, counting, writing another map) are not flagged; a
 // deliberately order-insensitive append can be suppressed with a
-// `//vplint:ignore detlint <reason>` directive.
+// `//lint:ignore detlint <reason>` directive.
 func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 	tv, ok := pass.TypesInfo.Types[rng.X]
 	if !ok {

@@ -1,0 +1,50 @@
+// Package pipeline is a detlint fixture shaped like the Section 5
+// machine's pooled ingest buffers: the per-group PC lookup slice and its
+// slot index are rebuilt every fetch group, and the rebuild is the exact
+// spot where a map-ordered drain or a wall-clock stamp would smuggle
+// nondeterminism into a bit-reproducible run.
+package pipeline
+
+import "time"
+
+type scratch struct {
+	pcs     []uint64
+	slotIdx []int
+	memProd map[uint64]int
+}
+
+// badLookupDrain rebuilds the lookup buffer by draining the producer map,
+// so the network sees the group's PCs in randomized order.
+func badLookupDrain(s *scratch) {
+	s.pcs = s.pcs[:0]
+	for pc := range s.memProd { // want `map iteration order is randomized, but this loop appends to a slice`
+		s.pcs = append(s.pcs, pc)
+	}
+}
+
+// badStampedIngest measures the rebuild with the wall clock.
+func badStampedIngest(s *scratch) time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	s.slotIdx = s.slotIdx[:0]
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// goodIndexedRebuild is the real ingest discipline: the buffers are filled
+// from the group's records in program order, never from a map.
+func goodIndexedRebuild(s *scratch, pcs []uint64) {
+	s.pcs = s.pcs[:0]
+	s.slotIdx = s.slotIdx[:0]
+	for i, pc := range pcs {
+		s.pcs = append(s.pcs, pc)
+		s.slotIdx = append(s.slotIdx, i)
+	}
+}
+
+// goodLookupCount is an order-free reduction over the producer map.
+func goodLookupCount(s *scratch) int {
+	n := 0
+	for range s.memProd {
+		n++
+	}
+	return n
+}

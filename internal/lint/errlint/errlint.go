@@ -10,9 +10,9 @@ package errlint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/scope"
 )
 
 // Analyzer is the ignored-error check.
@@ -24,28 +24,16 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// targets names the packages whose error returns must be consumed. Like
-// detlint, a package matches when its import path contains an "internal"
-// element and ends in one of these names, so the rule applies equally to
-// this module and to test fixtures.
-var targets = map[string]bool{
-	"stats": true, "tracestore": true, "experiment": true, "plan": true,
-}
-
+// fromTarget reports whether fn belongs to a package whose error returns
+// must be consumed. The member list lives in the shared scoping registry
+// (internal/lint/scope, contract scope.Errors); like every registry
+// contract it matches internal packages of this module and of test
+// fixture modules alike.
 func fromTarget(fn *types.Func) bool {
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	parts := strings.Split(fn.Pkg().Path(), "/")
-	if !targets[parts[len(parts)-1]] {
-		return false
-	}
-	for _, p := range parts[:len(parts)-1] {
-		if p == "internal" {
-			return true
-		}
-	}
-	return false
+	return scope.Member(scope.Errors, fn.Pkg().Path())
 }
 
 func run(pass *analysis.Pass) (any, error) {

@@ -6,11 +6,15 @@
 // A diagnostic can be silenced with a directive comment naming the
 // analyzer and giving a reason:
 //
-//	go st.Preload(names, seed, n) //vplint:ignore errlint re-reported by the foreground Get
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // The directive applies to diagnostics on its own line or on the line
 // immediately below it (so it can sit on its own line above a long
-// statement). `//vplint:ignore all <reason>` silences every analyzer.
+// statement). `//lint:ignore all <reason>` silences every analyzer. The
+// reason is mandatory: a directive without one suppresses nothing and is
+// itself reported as a diagnostic (analyzer "lint"), as is a directive
+// naming an analyzer that is not in the suite. The pre-PR-7 spelling
+// `//vplint:ignore` is accepted as a legacy alias with the same grammar.
 package lint
 
 import (
@@ -19,29 +23,36 @@ import (
 	"sort"
 	"strings"
 
+	"valuepred/internal/lint/aliaslint"
 	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/ctxlint"
 	"valuepred/internal/lint/detlint"
 	"valuepred/internal/lint/doclint"
 	"valuepred/internal/lint/errlint"
 	"valuepred/internal/lint/keyedlint"
 	"valuepred/internal/lint/loader"
 	"valuepred/internal/lint/mutexlint"
+	"valuepred/internal/lint/poollint"
 )
 
 // Analyzers returns the full vplint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		aliaslint.Analyzer,
+		ctxlint.Analyzer,
 		detlint.Analyzer,
 		doclint.Analyzer,
 		errlint.Analyzer,
 		keyedlint.Analyzer,
 		mutexlint.Analyzer,
+		poollint.Analyzer,
 	}
 }
 
 // Diagnostic is one resolved finding.
 type Diagnostic struct {
-	// Analyzer is the name of the check that fired.
+	// Analyzer is the name of the check that fired ("lint" for a
+	// malformed suppression directive).
 	Analyzer string
 	// Pos is the resolved source position.
 	Pos token.Position
@@ -54,16 +65,28 @@ func (d Diagnostic) String() string {
 }
 
 // Run loads the packages matched by patterns relative to dir, applies the
-// given analyzers, filters out suppressed findings and returns the rest
-// sorted by position.
+// given analyzers, filters out suppressed findings and returns the rest —
+// plus one diagnostic per malformed suppression directive — sorted by
+// position. Packages are analyzed in dependency order and share one fact
+// store, so analyzers see facts exported by the packages a target imports.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	// Directive validation is checked against the full suite, not the
+	// possibly -only-filtered selection: a directive naming a deselected
+	// analyzer is fine, one naming a nonexistent analyzer is a typo that
+	// would silently suppress nothing.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	facts := analysis.NewFactStore()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg)
+		sup, bad := suppressions(pkg, known)
+		diags = append(diags, bad...)
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -71,6 +94,7 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -92,12 +116,15 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Diagn
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
 		return a.Analyzer < b.Analyzer
 	})
 	return diags, nil
 }
 
-// suppression records one //vplint:ignore directive.
+// suppression records one well-formed ignore directive.
 type suppression struct {
 	file      string
 	line      int
@@ -106,37 +133,70 @@ type suppression struct {
 
 type suppressionSet []suppression
 
-const directive = "//vplint:ignore"
+// directives are the accepted spellings; the first is canonical, the
+// second the pre-PR-7 legacy alias.
+var directives = []string{"//lint:ignore", "//vplint:ignore"}
 
-// suppressions collects the ignore directives of every file in pkg.
-func suppressions(pkg *loader.Package) suppressionSet {
+// suppressions collects the ignore directives of every file in pkg. A
+// directive missing its reason, or naming an analyzer outside the suite,
+// is returned as a diagnostic instead of a suppression: it silences
+// nothing.
+func suppressions(pkg *loader.Package, known map[string]bool) (suppressionSet, []Diagnostic) {
 	var set suppressionSet
+	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directive) {
+				var rest string
+				matched := false
+				for _, d := range directives {
+					if c.Text == d || strings.HasPrefix(c.Text, d+" ") || strings.HasPrefix(c.Text, d+"\t") {
+						rest = strings.TrimPrefix(c.Text, d)
+						matched = true
+						break
+					}
+				}
+				if !matched {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+				pos := pkg.Fset.Position(c.Pos())
 				fields := strings.Fields(rest)
+				report := func(format string, args ...any) {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
 				if len(fields) == 0 {
+					report("suppression directive names no analyzer; use //lint:ignore <analyzer> <reason>")
 					continue
 				}
-				s := suppression{
-					file: pkg.Fset.Position(c.Pos()).Filename,
-					line: pkg.Fset.Position(c.Pos()).Line,
+				if len(fields) < 2 {
+					report("suppression directive has no reason and suppresses nothing; use //lint:ignore %s <reason>", fields[0])
+					continue
 				}
+				s := suppression{file: pos.Filename, line: pos.Line}
 				if fields[0] != "all" {
 					s.analyzers = make(map[string]bool)
+					ok := true
 					for _, name := range strings.Split(fields[0], ",") {
+						if !known[name] {
+							report("suppression directive names unknown analyzer %q (run vplint -list)", name)
+							ok = false
+							break
+						}
 						s.analyzers[name] = true
+					}
+					if !ok {
+						continue
 					}
 				}
 				set = append(set, s)
 			}
 		}
 	}
-	return set
+	return set, bad
 }
 
 // matches reports whether a diagnostic from the named analyzer at pos is

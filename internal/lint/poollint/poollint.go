@@ -1,0 +1,351 @@
+// Package poollint enforces the pooled-scratch hygiene contract of
+// DESIGN.md §12: a struct handed out by a sync.Pool carries whatever the
+// previous run left in it, so the acquire path must reset *every* field
+// before the value is used, and a value returned with Put must never be
+// touched again. The field-coverage check is structural — the set of
+// fields reset between Get and first use is compared against the struct
+// type's full field list — so adding a field to a pooled scratch without
+// resetting it is a deterministic lint error at the Get site, not a
+// once-in-a-thousand-runs race-hammer flake.
+//
+// Concretely, inside the determinism-scoped packages (the registry's
+// scope.Determinism set):
+//
+//   - every `s := pool.Get().(*T)` must be followed, in the same function
+//     (or in methods of T it calls on s, one level deep), by a reset of
+//     each field of T: an assignment to s.f, a method call on s.f
+//     (s.producers.reset()), or clear(s.f);
+//   - a (*sync.Pool).Get result that is not bound by that pattern —
+//     passed straight to a call, returned, or asserted elsewhere — is
+//     flagged, because nothing can prove it was reset before first use;
+//   - after `pool.Put(s)` the variable s must not be read again in that
+//     function (rebinding it is fine).
+package poollint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"valuepred/internal/lint/analysis"
+	"valuepred/internal/lint/scope"
+)
+
+// Analyzer is the pool-hygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollint",
+	Doc: "require sync.Pool acquire paths in the simulation packages to reset " +
+		"every field of the pooled struct before first use (missing fields are " +
+		"named), forbid Get results that escape the acquire pattern, and forbid " +
+		"reading a value after it was Put back",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Member(scope.Determinism, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	methods := packageMethods(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd, methods)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// methodKey identifies a method declared in this package.
+type methodKey struct {
+	recv *types.TypeName
+	name string
+}
+
+// packageMethods indexes this package's method declarations by (receiver
+// type, name) so the coverage walk can follow one level of s.reset()-style
+// indirection.
+func packageMethods(pass *analysis.Pass) map[methodKey]*ast.FuncDecl {
+	m := make(map[methodKey]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				m[methodKey{named.Obj(), fd.Name.Name}] = fd
+			}
+		}
+	}
+	return m
+}
+
+// poolMethod resolves call to a (*sync.Pool) method of the given name,
+// returning false otherwise.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, methods map[methodKey]*ast.FuncDecl) {
+	// acquired maps the variable bound by `s := pool.Get().(*T)` to the
+	// assert expression's Get call (diagnostic anchor).
+	type acquire struct {
+		v    *types.Var
+		typ  *types.Named
+		call *ast.CallExpr
+	}
+	var acquires []acquire
+	boundGets := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		ta, ok := as.Rhs[0].(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil {
+			return true
+		}
+		call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+		if !ok || !poolMethod(pass, call, "Get") {
+			return true
+		}
+		boundGets[call] = true
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		var v *types.Var
+		if obj, ok := pass.TypesInfo.Defs[id]; ok {
+			v, _ = obj.(*types.Var)
+		} else if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			v, _ = obj.(*types.Var)
+		}
+		t := pass.TypesInfo.TypeOf(ta.Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, _ := t.(*types.Named)
+		if v != nil && named != nil {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				acquires = append(acquires, acquire{v: v, typ: named, call: call})
+			}
+		}
+		return true
+	})
+
+	// Any Get call outside the bound pattern escapes unreset.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || boundGets[call] || !poolMethod(pass, call, "Get") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"sync.Pool Get result escapes without a reset; bind it with `s := pool.Get().(*T)` and reset every field before use")
+		return true
+	})
+
+	for _, a := range acquires {
+		covered := make(map[string]bool)
+		coverBody(pass, fd.Body, a.v, covered)
+		// One level of indirection: methods of T called on the acquired
+		// variable (s.reset()) contribute their own receiver's coverage.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isVar(pass, sel.X, a.v) {
+				return true
+			}
+			md, ok := methods[methodKey{a.typ.Obj(), sel.Sel.Name}]
+			if !ok || md.Recv == nil || len(md.Recv.List) == 0 || len(md.Recv.List[0].Names) == 0 {
+				return true
+			}
+			var recvVar *types.Var
+			if obj, ok := pass.TypesInfo.Defs[md.Recv.List[0].Names[0]]; ok {
+				recvVar, _ = obj.(*types.Var)
+			}
+			if recvVar != nil {
+				coverBody(pass, md.Body, recvVar, covered)
+			}
+			return true
+		})
+		st := a.typ.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !covered[f.Name()] {
+				pass.Reportf(a.call.Pos(),
+					"field %s of pooled %s is not reset between Get and first use; a stale value from the previous run leaks into this one", f.Name(), a.typ.Obj().Name())
+			}
+		}
+	}
+
+	checkPutRetention(pass, fd)
+}
+
+// isVar reports whether e is an identifier denoting v.
+func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	return ok && obj == v
+}
+
+// coverBody records which fields of recv are reset in body: assignments to
+// recv.f (including recv.f = recv.f[:0] and deeper paths recv.f.g = x),
+// method calls on recv.f, and clear(recv.f).
+func coverBody(pass *analysis.Pass, body *ast.BlockStmt, recv *types.Var, covered map[string]bool) {
+	fieldOf := func(e ast.Expr) (string, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		// Walk down to the selector rooted at recv: recv.f, recv.f.g, ...
+		for {
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			if isVar(pass, inner.X, recv) {
+				sel = inner
+				break
+			}
+			sel = inner
+		}
+		if !isVar(pass, sel.X, recv) {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f, ok := fieldOf(lhs); ok {
+					covered[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					if f, ok := fieldOf(n.Args[0]); ok {
+						covered[f] = true
+					}
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if f, ok := fieldOf(sel.X); ok {
+					covered[f] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPutRetention flags reads of a variable after it was handed back
+// with (*sync.Pool).Put. The check is positional within one function:
+// sound for the straight-line acquire/release bodies the contract covers,
+// and every flagged use is a real read-after-free of pooled memory.
+func checkPutRetention(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type put struct {
+		v    *types.Var
+		end  token.Pos
+		dead bool // a later rebind started a fresh value
+	}
+	var puts []put
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !poolMethod(pass, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		// A deferred Put runs at function exit: nothing after it textually
+		// runs after it temporally, so only statement-position Puts gate.
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				puts = append(puts, put{v: v, end: call.End()})
+			}
+		}
+		return true
+	})
+	if len(puts) == 0 {
+		return
+	}
+	// Deferred Puts are exempt: drop those inside defer statements.
+	deferred := make(map[token.Pos]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(ds.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && poolMethod(pass, call, "Put") {
+					deferred[call.End()] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// A rebind after the Put starts a fresh value: the old put stops
+		// gating from that point on. Inspect visits the AssignStmt before
+		// the uses that follow it, so earlier uses were already checked.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				for i := range puts {
+					if v == puts[i].v && id.Pos() > puts[i].end {
+						puts[i].dead = true
+					}
+				}
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		for _, p := range puts {
+			if v == p.v && !p.dead && !deferred[p.end] && id.Pos() > p.end {
+				pass.Reportf(id.Pos(),
+					"%s is read after being returned to the pool; another goroutine may already own it", id.Name)
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package poollint_test
+
+import (
+	"testing"
+
+	"valuepred/internal/lint/analysistest"
+	"valuepred/internal/lint/poollint"
+)
+
+// TestPoollint runs the fixture module: every reset idiom accepted, every
+// hygiene rule rejected, and the out-of-scope package left silent.
+func TestPoollint(t *testing.T) {
+	analysistest.Run(t, "testdata", poollint.Analyzer, "./...")
+}

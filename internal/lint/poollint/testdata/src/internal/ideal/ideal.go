@@ -1,0 +1,94 @@
+// Package ideal is the poollint fixture, shaped like the real pooled
+// scratches of internal/ideal and internal/pipeline: a sync.Pool of per-run
+// scratch structs whose every field must be reset at acquire. It carries
+// one accepting acquire per reset idiom (direct assignment, truncation,
+// clear, field-method call, whole-struct reset method) and one rejecting
+// case per rule.
+package ideal
+
+import "sync"
+
+type arena struct {
+	chunks [][]byte
+	used   int
+}
+
+func (a *arena) reset() { a.used = 0 }
+
+type scratch struct {
+	producers arena
+	window    []int
+	memProd   map[uint64]int
+	cursor    int
+}
+
+// reset is the whole-struct reset method goodMethodGet relies on.
+func (s *scratch) reset() {
+	s.producers.reset()
+	s.window = s.window[:0]
+	clear(s.memProd)
+	s.cursor = 0
+}
+
+var pool = sync.Pool{New: func() any {
+	return &scratch{memProd: make(map[uint64]int)}
+}}
+
+// goodInlineGet resets every field at acquire, one idiom each: a method
+// call on the field, a truncation, a clear, a zeroing assignment.
+func goodInlineGet() *scratch {
+	s := pool.Get().(*scratch)
+	s.producers.reset()
+	s.window = s.window[:0]
+	clear(s.memProd)
+	s.cursor = 0
+	return s
+}
+
+// goodMethodGet routes the reset through a method of the pooled type; the
+// analyzer follows one level of indirection.
+func goodMethodGet() *scratch {
+	s := pool.Get().(*scratch)
+	s.reset()
+	return s
+}
+
+// badMissingField forgets the map — precisely the bug class the check
+// exists for: add a field, forget its reset, inherit the last run's state.
+func badMissingField() *scratch {
+	s := pool.Get().(*scratch) // want `field memProd of pooled scratch is not reset between Get and first use`
+	s.producers.reset()
+	s.window = s.window[:0]
+	s.cursor = 0
+	return s
+}
+
+// badEscapingGet never binds the result, so no reset can be proven.
+func badEscapingGet(f func(*scratch)) {
+	f(pool.Get().(*scratch)) // want `sync\.Pool Get result escapes without a reset`
+}
+
+// badUseAfterPut reads the scratch after handing it back.
+func badUseAfterPut(s *scratch) int {
+	pool.Put(s)
+	return s.cursor // want `s is read after being returned to the pool`
+}
+
+// goodDeferredPut is the real scratches' idiom: the deferred Put runs at
+// function exit, so the body's uses of s are all before it temporally.
+func goodDeferredPut() int {
+	s := goodInlineGet()
+	defer pool.Put(s)
+	s.cursor = 7
+	return s.cursor
+}
+
+// goodRebindAfterPut rebinds the variable to a fresh value after Put:
+// uses of the new value are legal.
+func goodRebindAfterPut() int {
+	s := goodInlineGet()
+	pool.Put(s)
+	s = goodInlineGet()
+	defer pool.Put(s)
+	return s.cursor
+}

@@ -1,0 +1,15 @@
+// Package outside sits outside the determinism scope: poollint must stay
+// silent here even for a textbook violation, proving the analyzer's
+// scoping (the registry's determinism set bounds it).
+package outside
+
+import "sync"
+
+type thing struct{ n int }
+
+var pool sync.Pool
+
+// Unreset would be a poollint diagnostic inside the simulator packages.
+func Unreset() any {
+	return pool.Get()
+}

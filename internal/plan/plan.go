@@ -183,6 +183,7 @@ func Run(ctx context.Context, g *Grid, sink *obs.Sink) ([]any, error) {
 		return nil, nil
 	}
 	if ctx == nil {
+		//lint:ignore ctxlint nil-ctx convenience default for library callers; a real caller ctx always wins
 		ctx = context.Background()
 	}
 	results := make([]any, len(cells))

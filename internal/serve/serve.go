@@ -188,6 +188,7 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	//lint:ignore ctxlint server construction is the process root; this context has no caller to inherit from
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
