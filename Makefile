@@ -47,10 +47,11 @@ bench:
 
 # bench-gate is the CI regression check: the workers sweep alone, one
 # iteration, piped through benchjson -gate — fails on any workers_speedup
-# regression (slower than serial beyond the measurement-noise floor).
+# regression (slower than serial beyond the measurement-noise floor), or
+# on a speedup more than 10% below the committed BENCH_pr6.json baseline.
 bench-gate:
 	$(GO) test -run='^$$' -bench='BenchmarkFig31Workers' -benchtime=1x -benchmem . \
-		| $(GO) run ./cmd/benchjson -gate -o /dev/null
+		| $(GO) run ./cmd/benchjson -gate -baseline BENCH_pr6.json -o /dev/null
 
 # bench-smoke is the CI variant: a single iteration of the core simulator
 # benchmarks, piped through benchjson so the parser is exercised end to end,

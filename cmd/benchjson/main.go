@@ -25,9 +25,15 @@
 // such entry — so a parallel slowdown fails make bench and CI instead of
 // sitting unnoticed in a committed report.
 //
+// -baseline FILE additionally gates against a committed report: every
+// workers_speedup entry present in both must reach the baseline's speedup
+// ratio minus a 10% tolerance. Ratios — not raw ns/op — are compared,
+// because ns/op describes the machine while the serial/parallel ratio
+// describes the code.
+//
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchmem | go run ./cmd/benchjson -gate -o BENCH_pr6.json
+//	go test -run='^$' -bench=. -benchmem | go run ./cmd/benchjson -gate -baseline BENCH_pr6.json -o /dev/null
 package main
 
 import (
@@ -88,14 +94,56 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
 	gate := flag.Bool("gate", false, "exit non-zero if any workers_speedup entry is a regression (parallel slower than serial beyond noise)")
+	baseline := flag.String("baseline", "", "committed benchjson report to gate against: each workers_speedup entry must reach the baseline's speedup minus tolerance")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out, *gate); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *gate, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, echo io.Writer, outPath string, gate bool) error {
+// baselineTolerance is the fraction of a committed baseline speedup the
+// current run may fall short by before the gate fails. Speedup ratios
+// compare like machine against like machine only in CI reruns of the same
+// runner class, and even there they jitter several percent run to run;
+// 10% catches a structural loss (a serialized pool, a reintroduced
+// allocation wall) without tripping on scheduler noise. Raw ns/op is
+// deliberately not compared — it says more about the machine than the
+// code.
+const baselineTolerance = 0.10
+
+// gateBaseline compares the current run's workers_speedup entries against
+// the committed report at path: every benchmark present in both must reach
+// the baseline's speedup minus tolerance. Benchmarks only in one report
+// are ignored (the sweep grows and shrinks across PRs).
+func gateBaseline(cur []Speedup, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	want := make(map[string]float64)
+	for _, s := range base.WorkersSpeedup {
+		want[s.Benchmark+"/"+s.ParallelName] = s.Speedup
+	}
+	for _, s := range cur {
+		baseSp, ok := want[s.Benchmark+"/"+s.ParallelName]
+		if !ok {
+			continue
+		}
+		floor := baseSp * (1 - baselineTolerance)
+		if s.Speedup < floor {
+			return fmt.Errorf("speedup regression vs %s: %s %s is %.3fx, baseline %.3fx (floor %.3fx)",
+				path, s.Benchmark, s.ParallelName, s.Speedup, baseSp, floor)
+		}
+	}
+	return nil
+}
+
+func run(in io.Reader, echo io.Writer, outPath string, gate bool, baseline string) error {
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -136,6 +184,11 @@ func run(in io.Reader, echo io.Writer, outPath string, gate bool) error {
 				return fmt.Errorf("parallel regression: %s %s is %.2fx vs serial (below the %.2f floor)",
 					s.Benchmark, s.ParallelName, s.Speedup, regressionFloor)
 			}
+		}
+	}
+	if baseline != "" {
+		if err := gateBaseline(rep.WorkersSpeedup, baseline); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -6,7 +6,7 @@
 //
 //	vpserve [-addr 127.0.0.1:8080] [-max-concurrent 4] [-workers 0]
 //	        [-timeout 2m] [-cache 64] [-max-tracelen 2000000]
-//	        [-max-seeds 16] [-drain-timeout 30s]
+//	        [-max-seeds 16] [-drain-timeout 30s] [-events log.jsonl] [-pprof]
 //
 // Endpoints (see DESIGN.md §11 and the README "Serving" walkthrough):
 //
@@ -15,6 +15,14 @@
 //	GET /v1/experiments/{id}     run/serve one experiment
 //	    ?seed=1&tracelen=200000&seeds=1&workloads=go,gcc&format=text
 //	GET /v1/metrics              metrics snapshot (text, or ?format=json)
+//	GET /v1/progress             live cell-grid progress + in-flight runs
+//	GET /metrics                 Prometheus text exposition (for scrapers)
+//	GET /debug/pprof/            net/http/pprof (only with -pprof)
+//
+// -events appends the structured JSON event log (request, simulation and
+// cell lifecycle, each line stamped with its request's span id) to a file;
+// "-" writes it to stderr. Invalid flag values (negative timeouts,
+// -workers -1, ...) exit 2 with the usage text.
 //
 // Identical concurrent requests coalesce onto one simulation, completed
 // tables are cached in a bounded LRU, saturation is shed with 429 +
@@ -46,11 +54,26 @@ import (
 	"valuepred/internal/serve"
 )
 
+// errUsage marks a command-line validation failure. main reports it like
+// any other error but exits 2 (the conventional usage-error status), so
+// scripts can tell a bad invocation from a runtime failure.
+var errUsage = errors.New("invalid usage")
+
+// usagef prints the flag set's usage text and returns a friendly
+// validation error carrying errUsage.
+func usagef(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, args...))
+}
+
 func main() {
 	signals := make(chan os.Signal, 1)
 	signal.Notify(signals, syscall.SIGTERM, os.Interrupt)
 	if err := run(os.Args[1:], os.Stdout, os.Stderr, signals, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -70,18 +93,41 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		maxSeeds      = fs.Int("max-seeds", serve.DefaultMaxSeeds, "largest per-request seeds accepted")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 		workers       = fs.Int("workers", 0, "simulation worker-pool width shared by all requests (0 = GOMAXPROCS)")
+		eventsOut     = fs.String("events", "", "write the structured JSON event log to this file (\"-\" = stderr)")
+		pprofOn       = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service's own mux")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: the usage text has been printed; exit 0
 		}
-		return err
+		return fmt.Errorf("%w: %s", errUsage, err)
 	}
 	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments %v", fs.Args())
+		return usagef(fs, "unexpected arguments %v", fs.Args())
+	}
+	if *timeout < 0 {
+		return usagef(fs, "-timeout must be >= 0 (0 = the %s default), have %s", serve.DefaultTimeout, *timeout)
+	}
+	if *drainTimeout < 0 {
+		return usagef(fs, "-drain-timeout must be >= 0, have %s", *drainTimeout)
+	}
+	if *workers < 0 {
+		return usagef(fs, "-workers must be >= 0 (0 = GOMAXPROCS), have %d", *workers)
 	}
 	prevWorkers := valuepred.SetWorkers(*workers)
 	defer valuepred.SetWorkers(prevWorkers)
+
+	var events *valuepred.EventLog
+	if *eventsOut == "-" {
+		events = valuepred.NewEventLog(stderr)
+	} else if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = valuepred.NewEventLog(f)
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
@@ -89,6 +135,8 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		CacheEntries:  *cacheEntries,
 		MaxTraceLen:   *maxTraceLen,
 		MaxSeeds:      *maxSeeds,
+		EventLog:      events,
+		EnablePprof:   *pprofOn,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestUsageValidation pins the flag-validation contract: invalid values
+// are rejected with errUsage (exit 2 in main) and the usage text.
+func TestUsageValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+		{"negative drain-timeout", []string{"-drain-timeout", "-5s"}, "-drain-timeout"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"positional args", []string{"positional"}, "unexpected arguments"},
+		{"unknown flag", []string{"-nonesuch"}, "-nonesuch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var errBuf syncBuffer
+			err := run(tc.args, io.Discard, &errBuf, nil, nil)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tc.args)
+			}
+			if !errors.Is(err, errUsage) {
+				t.Errorf("run(%v) error %v is not errUsage (would exit 1, want 2)", tc.args, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not explain %q", err, tc.want)
+			}
+		})
+	}
+
+	// A runtime failure (unusable address) is NOT a usage error.
+	var errBuf syncBuffer
+	err := run([]string{"-addr", "not a real address"}, io.Discard, &errBuf, nil, nil)
+	if err == nil {
+		t.Fatal("bad -addr accepted")
+	}
+	if errors.Is(err, errUsage) {
+		t.Errorf("listener failure %v wrongly marked as usage error", err)
+	}
+}
+
+// TestTelemetryEndpoints boots the real server with -pprof and -events and
+// exercises the live-telemetry surface end to end: the Prometheus
+// exposition, the progress endpoint, the pprof mount, the X-Span response
+// header and the span-stamped event log.
+func TestTelemetryEndpoints(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	base, signals, done := start(t, "-pprof", "-events", events)
+
+	// One tiny simulation so counters, progress and the event log have
+	// something to show.
+	resp, err := http.Get(base + "/v1/experiments/fig3.3?tracelen=3000&workloads=gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiment request = %d", resp.StatusCode)
+	}
+	span := resp.Header.Get("X-Span")
+	if !strings.HasPrefix(span, "req-") {
+		t.Errorf("X-Span = %q, want req-<n>", span)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("/metrics"); status != http.StatusOK ||
+		!strings.Contains(body, "vp_serve_requests_total") {
+		t.Errorf("/metrics = %d, body:\n%.300s", status, body)
+	}
+	status, body := get("/v1/progress")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/progress = %d", status)
+	}
+	var prog struct {
+		Progress struct {
+			Total int64 `json:"total"`
+			Done  int64 `json:"done"`
+		} `json:"progress"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("progress body is not JSON: %v\n%s", err, body)
+	}
+	if prog.Progress.Total == 0 || prog.Progress.Done != prog.Progress.Total {
+		t.Errorf("progress after a completed run = %+v, want converged and non-zero", prog.Progress)
+	}
+	if status, _ := get("/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("/debug/pprof/ with -pprof = %d", status)
+	}
+
+	signals <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+
+	// The event log file carries the request's span end to end.
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`"event":"request.start"`, `"event":"request.done"`,
+		`"event":"simulation.start"`, `"event":"simulation.done"`,
+		`"event":"cell.done"`, `"span":"` + span + `"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("event log missing %s", want)
+		}
+	}
+}
+
+// TestPprofOffByDefault pins that the profiling surface stays dark
+// without the flag.
+func TestPprofOffByDefault(t *testing.T) {
+	base, signals, done := start(t)
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
+	}
+	signals <- syscall.SIGTERM
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}

@@ -24,12 +24,19 @@
 // chrome://tracing or https://ui.perfetto.dev) with one track per simulated
 // run, sampled every -trace-sample cycles; -manifest writes a JSON run
 // manifest (configuration, wall time, metric snapshot); -pprof serves
-// net/http/pprof on the given address for live profiling. None of these
-// affect the simulation: the rendered tables are bit-identical with
+// net/http/pprof on the given address for live profiling; -progress
+// renders a live cells-done/total line with an EWMA-derived ETA on stderr
+// while the grids run; -events writes the structured JSON event log
+// (run/cell lifecycle, trace generation) to a file. None of these affect
+// the simulation: the rendered tables are bit-identical with
 // observability on or off.
+//
+// Invalid flag values (e.g. -trace-sample 0, -workers -1) exit 2 with the
+// usage text; simulation failures exit 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,13 +44,30 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"valuepred"
 )
 
+// errUsage marks a command-line validation failure. main reports it like
+// any other error but exits 2 (the conventional usage-error status), so
+// scripts can tell a bad invocation from a failed simulation.
+var errUsage = errors.New("invalid usage")
+
+// usagef prints the flag set's usage text and returns a friendly
+// validation error carrying errUsage.
+func usagef(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf("%w: %s", errUsage, fmt.Sprintf(format, args...))
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -71,9 +95,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		manifestOut = fs.String("manifest", "", "write a JSON run manifest to this file")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		workers     = fs.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); tables are byte-identical at any width")
+		progress    = fs.Bool("progress", false, "render a live cells-done/total progress line on stderr while experiments run")
+		eventsOut   = fs.String("events", "", "write a structured JSON event log (one event per line) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: the usage text has been printed; exit 0
+		}
+		return fmt.Errorf("%w: %s", errUsage, err)
+	}
+	if *traceSample <= 0 {
+		return usagef(fs, "-trace-sample must be a positive cycle count, have %d", *traceSample)
+	}
+	if *workers < 0 {
+		return usagef(fs, "-workers must be >= 0 (0 = GOMAXPROCS), have %d", *workers)
+	}
+	if *seeds < 1 {
+		return usagef(fs, "-seeds must be >= 1, have %d", *seeds)
 	}
 	prevWorkers := valuepred.SetWorkers(*workers)
 	defer valuepred.SetWorkers(prevWorkers)
@@ -85,8 +123,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	if !*all && *id == "" {
-		fs.Usage()
-		return fmt.Errorf("need -experiment <id>, -all or -list")
+		return usagef(fs, "need -experiment <id>, -all or -list")
 	}
 
 	if *pprofAddr != "" {
@@ -119,6 +156,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tracer = valuepred.NewEventTracer(*traceSample)
 	}
 	p.Obs = valuepred.NewObsSink(reg, tracer)
+
+	// Live telemetry rides on the same write-only sink: -progress attaches
+	// the cell-grid aggregator plus a stderr renderer, -events the
+	// structured event log. Both work with or without -metrics/-trace-out
+	// (a nil sink materializes a minimal one), and neither changes a byte
+	// of table output.
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lg := valuepred.NewEventLog(f)
+		p.Obs = p.Obs.WithEventLog(lg)
+		// Trace generation is the run's slowest phase; narrate it too.
+		valuepred.InstrumentTraceStoreEvents(lg)
+		defer valuepred.InstrumentTraceStoreEvents(nil)
+	}
+	if *progress {
+		prog := valuepred.NewProgress()
+		p.Obs = p.Obs.WithProgress(prog)
+		stop := startProgress(stderr, prog)
+		defer stop()
+	}
 
 	if *cacheStat {
 		defer func() {
@@ -228,4 +289,55 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// startProgress launches the live progress renderer: a goroutine redraws
+// one carriage-return-anchored stderr line a few times a second from the
+// aggregator's snapshots. The returned stop function draws a final frame,
+// terminates the line with a newline and waits the goroutine out, so
+// nothing else the command prints can interleave with a half-drawn frame.
+func startProgress(w io.Writer, prog *valuepred.Progress) func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				renderProgress(w, prog.Snapshot())
+				fmt.Fprintln(w)
+				return
+			case <-tick.C:
+				renderProgress(w, prog.Snapshot())
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// renderProgress draws one frame: overall cells done/total, errors if any,
+// live occupancy, and the largest per-experiment ETA (experiments run
+// sequentially, so the current one's estimate dominates). The line is
+// left-padded to a fixed width so a shorter frame fully overwrites a
+// longer one.
+func renderProgress(w io.Writer, s valuepred.ProgressSnapshot) {
+	line := fmt.Sprintf("cells %d/%d", s.Done, s.Total)
+	if s.Errors > 0 {
+		line += fmt.Sprintf(" (%d errors)", s.Errors)
+	}
+	line += fmt.Sprintf("  running %d  queued %d", s.Running, s.Queued)
+	var eta float64
+	for _, e := range s.Experiments {
+		if e.ETAMS > eta {
+			eta = e.ETAMS
+		}
+	}
+	if eta > 0 {
+		d := time.Duration(eta * float64(time.Millisecond))
+		line += fmt.Sprintf("  eta ~%s", d.Round(100*time.Millisecond))
+	}
+	fmt.Fprintf(w, "\r%-78s", line)
 }

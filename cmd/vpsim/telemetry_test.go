@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUsageErrors pins the flag-validation contract: invalid values are
+// rejected with a friendly message carrying errUsage (exit 2 in main),
+// and the usage text is printed.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"trace-sample zero", []string{"-experiment", "fig3.3", "-trace-sample", "0"}, "-trace-sample"},
+		{"trace-sample negative", []string{"-experiment", "fig3.3", "-trace-sample", "-5"}, "-trace-sample"},
+		{"workers negative", []string{"-experiment", "fig3.3", "-workers", "-1"}, "-workers"},
+		{"seeds zero", []string{"-experiment", "fig3.3", "-seeds", "0"}, "-seeds"},
+		{"no experiment", nil, "-experiment"},
+		{"unknown flag", []string{"-nonesuch"}, "-nonesuch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			err := run(tc.args, &out, &errb)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tc.args)
+			}
+			if !errors.Is(err, errUsage) {
+				t.Errorf("run(%v) error %v is not errUsage (would exit 1, want 2)", tc.args, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offending flag %q", err, tc.want)
+			}
+			if !strings.Contains(errb.String(), "Usage") && !strings.Contains(errb.String(), "-experiment string") {
+				t.Errorf("usage text not printed; stderr: %q", errb.String())
+			}
+		})
+	}
+
+	// A failed simulation is NOT a usage error: it must exit 1, not 2.
+	var out, errb strings.Builder
+	err := run([]string{"-experiment", "nonesuch", "-len", "100"}, &out, &errb)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if errors.Is(err, errUsage) {
+		t.Errorf("runtime failure %v wrongly marked as usage error", err)
+	}
+}
+
+// TestProgressFlag runs a tiny experiment with -progress and checks the
+// live line lands on stderr (terminated by a newline so subsequent output
+// starts clean) while the table on stdout stays byte-identical to a run
+// without it.
+func TestProgressFlag(t *testing.T) {
+	args := []string{"-experiment", "fig3.3", "-len", "3000", "-workloads", "gcc"}
+
+	var plainOut, plainErr strings.Builder
+	if err := run(args, &plainOut, &plainErr); err != nil {
+		t.Fatal(err)
+	}
+	var progOut, progErr strings.Builder
+	if err := run(append([]string{"-progress"}, args...), &progOut, &progErr); err != nil {
+		t.Fatal(err)
+	}
+
+	if progOut.String() != plainOut.String() {
+		t.Errorf("-progress changed stdout:\nwith:\n%s\nwithout:\n%s", progOut.String(), plainOut.String())
+	}
+	se := progErr.String()
+	if !strings.Contains(se, "cells ") {
+		t.Errorf("-progress stderr has no progress line: %q", se)
+	}
+	if !strings.HasSuffix(se, "\n") {
+		t.Errorf("final progress frame not newline-terminated: %q", se)
+	}
+	// The final frame shows the grid fully converged: "cells N/N".
+	last := se[strings.LastIndex(se, "\r")+1:]
+	fields := strings.Fields(last)
+	if len(fields) < 2 || fields[0] != "cells" || !strings.Contains(fields[1], "/") {
+		t.Fatalf("final frame %q does not start with cells done/total", last)
+	}
+	frac := strings.SplitN(fields[1], "/", 2)
+	if frac[0] != frac[1] {
+		t.Errorf("final frame shows unconverged cells %s", fields[1])
+	}
+}
+
+// TestEventsFlag checks -events writes a parseable JSON event log carrying
+// the run and cell lifecycle.
+func TestEventsFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	var out, errb strings.Builder
+	// A seed no other test uses, so the trace is a guaranteed store miss
+	// and the generate.* events fire.
+	err := run([]string{"-experiment", "fig3.3", "-len", "3000", "-workloads", "gcc",
+		"-seed", "977", "-events", path}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.TrimSpace(string(data))
+	if text == "" {
+		t.Fatal("-events wrote an empty log")
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		var e struct {
+			Component string `json:"component"`
+			Event     string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line is not JSON: %v\n%s", err, line)
+		}
+		seen[e.Component+"/"+e.Event] = true
+	}
+	for _, want := range []string{
+		"experiment/run.start", "experiment/run.done",
+		"plan/cell.start", "plan/cell.done",
+		"tracestore/generate.start", "tracestore/generate.done",
+	} {
+		if !seen[want] {
+			t.Errorf("event log missing %s; saw %v", want, seen)
+		}
+	}
+}

@@ -201,13 +201,20 @@ func Describe(id string) (string, bool) {
 	return e.desc, ok
 }
 
-// Run executes the experiment with the given id.
+// Run executes the experiment with the given id. The run's lifecycle is
+// narrated into the event log (run.start/run.done with the id, seed and
+// trace length) when the sink carries one; like all obs plumbing this is
+// write-only and changes nothing about the table.
 func Run(id string, p Params) (*Table, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
 	}
-	return e.runner(p)
+	done := p.Obs.EventStart(p.ctx, "experiment", "run",
+		obs.F("experiment", id), obs.F("seed", p.Seed), obs.F("tracelen", p.TraceLen))
+	t, err := e.runner(p)
+	done(err == nil)
+	return t, err
 }
 
 // RunCtx executes the experiment with the given id under ctx. Cancellation

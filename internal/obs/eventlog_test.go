@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogFieldOrder(t *testing.T) {
+	var buf strings.Builder
+	l := NewEventLog(&buf)
+	ctx := WithSpan(context.Background(), 42)
+	l.Log(ctx, "serve", "request.start",
+		F("method", "GET"), F("path", "/v1/progress"), F("n", 7),
+		F("ratio", 0.5), F("ok", true))
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	if strings.Contains(line, "\n") {
+		t.Fatalf("one event must be one line, got %q", line)
+	}
+	// The top-level field order is fixed: ts, span, component, event,
+	// fields — and payload fields keep caller order. Both are positional
+	// guarantees encoding/json over a map could not make.
+	wantOrder := []string{`"ts":`, `"span":"req-42"`, `"component":"serve"`,
+		`"event":"request.start"`, `"fields":{`, `"method":"GET"`,
+		`"path":"/v1/progress"`, `"n":7`, `"ratio":0.5`, `"ok":true`}
+	pos := -1
+	for _, marker := range wantOrder {
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("event line missing %q: %s", marker, line)
+		}
+		if i < pos {
+			t.Fatalf("field %q out of order in %s", marker, line)
+		}
+		pos = i
+	}
+	// And it must still be valid JSON.
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+		t.Fatalf("event line is not valid JSON: %v\n%s", err, line)
+	}
+	if parsed["span"] != "req-42" {
+		t.Fatalf("span = %v, want req-42", parsed["span"])
+	}
+}
+
+func TestEventLogNoSpanRendersEmpty(t *testing.T) {
+	var buf strings.Builder
+	l := NewEventLog(&buf)
+	l.Log(context.Background(), "plan", "cell.start")
+	//lint:ignore ctxlint exercising the nil-ctx tolerance contract of Log itself
+	l.Log(nil, "plan", "cell.start")
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(line, `"span":""`) {
+			t.Fatalf("span-less event should render span as empty, got %s", line)
+		}
+	}
+}
+
+func TestEventLogStart(t *testing.T) {
+	var buf strings.Builder
+	l := NewEventLog(&buf)
+	done := l.Start(context.Background(), "tracestore", "generate", F("workload", "gcc"))
+	done(true, F("records", 100))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Start should emit exactly start+done, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"event":"generate.start"`) {
+		t.Fatalf("first line is not the start event: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"event":"generate.done"`) ||
+		!strings.Contains(lines[1], `"ok":true`) ||
+		!strings.Contains(lines[1], `"records":100`) ||
+		!strings.Contains(lines[1], `"wall_ms":`) {
+		t.Fatalf("done event missing ok/extra/wall_ms: %s", lines[1])
+	}
+}
+
+func TestEventLogNilSafety(t *testing.T) {
+	var l *EventLog
+	l.Log(context.Background(), "c", "e", F("k", "v"))
+	done := l.Start(context.Background(), "c", "e")
+	done(true)
+
+	var s *Sink
+	s.Event(context.Background(), "c", "e")
+	s.EventStart(context.Background(), "c", "e")(false)
+	if s.WithEventLog(nil) != nil {
+		t.Fatal("nil sink + nil log should stay nil")
+	}
+	if s.WithEventLog(NewEventLog(&strings.Builder{})) == nil {
+		t.Fatal("WithEventLog on a nil sink should materialize one")
+	}
+}
+
+func TestEventLogConcurrentLinesStayWhole(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	// strings.Builder is not goroutine-safe; the log's own mutex is what
+	// keeps lines whole, so give the writer a racy-but-guarded shim.
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewEventLog(w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Log(context.Background(), "hammer", "event", F("g", g), F("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+			t.Fatalf("interleaved or torn event line: %v\n%s", err, line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestSpanHelpers(t *testing.T) {
+	a, b := NextSpan(), NextSpan()
+	if b != a+1 {
+		t.Fatalf("NextSpan should be sequential: %d then %d", a, b)
+	}
+	ctx := WithSpan(context.Background(), 7)
+	if id, ok := SpanID(ctx); !ok || id != 7 {
+		t.Fatalf("SpanID = %d, %v, want 7, true", id, ok)
+	}
+	if got := SpanName(ctx); got != "req-7" {
+		t.Fatalf("SpanName = %q, want req-7", got)
+	}
+	if _, ok := SpanID(context.Background()); ok {
+		t.Fatal("span-less context should report no span")
+	}
+	//lint:ignore ctxlint exercising the nil-ctx tolerance contract of SpanID itself
+	if _, ok := SpanID(nil); ok {
+		t.Fatal("nil context should report no span")
+	}
+	if got := SpanName(context.Background()); got != "" {
+		t.Fatalf("SpanName without a span = %q, want empty", got)
+	}
+}

@@ -1,12 +1,16 @@
 package obs
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // This file carries the plan-runner instrumentation: the execution
 // engine (internal/plan) is a restricted simulation package and may not
 // read the wall clock itself, so the timing side of its per-cell latency
-// metric lives here, behind the same write-only Sink facade as the
-// machine models' instrumentation.
+// metric — and, since the live-telemetry layer, the cell lifecycle feed
+// into Progress and the EventLog — lives here, behind the same
+// write-only Sink facade as the machine models' instrumentation.
 
 // planLatencyBounds bucket per-cell wall latency in milliseconds:
 // sub-millisecond analysis cells up to multi-second full-trace
@@ -33,44 +37,64 @@ func newPlanMetrics(reg *Registry) planMetrics {
 	}
 }
 
-// CellQueued moves the plan.queue_depth gauge: +1 when a cell starts
-// waiting for a pool token, -1 when it is admitted (or abandons the wait
-// on cancellation). No-op on a nil sink.
-func (s *Sink) CellQueued(delta int64) {
+// CellQueued moves the plan.queue_depth gauge and the experiment's
+// Progress queue count: +1 when a cell starts waiting for a pool token,
+// -1 when it is admitted (or abandons the wait on cancellation). exp is
+// the cell's experiment id. No-op on a nil sink.
+func (s *Sink) CellQueued(exp string, delta int64) {
 	if s == nil {
 		return
 	}
 	s.planM.queue.Add(delta)
+	s.prog.cellQueued(exp, delta)
 }
 
 // CellStart records the start of one plan cell and returns the completion
 // callback: calling it with the cell's outcome counts the cell, records
-// its wall latency in the plan.cell_latency_ms histogram, and drops an
-// instant event into the tracer's "plan" track. The tracer event is
-// timestamped with the cell's canonical index — not wall time — so
-// exported traces remain byte-identical run to run; wall latency lands
-// only in the histogram, which (like manifests) is reporting metadata.
-// On a nil sink both the method and the returned callback are no-ops.
-func (s *Sink) CellStart(key string, index int) func(ok bool) {
+// its wall latency in the plan.cell_latency_ms histogram and the
+// experiment's Progress EWMA, drops an instant event into the tracer's
+// "plan" track, and emits cell.start/cell.done events into the event log
+// (span-stamped from ctx, linking the cell to the HTTP request or CLI run
+// that scheduled it). The tracer event is timestamped with the cell's
+// canonical index — not wall time — so exported traces remain
+// byte-identical run to run; wall latency lands only in the histogram,
+// the Progress aggregator and the event log, which (like manifests) are
+// reporting metadata. On a nil sink both the method and the returned
+// callback are no-ops.
+func (s *Sink) CellStart(ctx context.Context, exp, key string, index int) func(ok bool) {
 	if s == nil {
 		return func(bool) {}
 	}
 	m := s.planM
+	progDone := s.progressStart(exp)
+	s.ev.Log(ctx, "plan", "cell.start", F("key", key), F("index", index))
+	span, hasSpan := SpanID(ctx)
 	start := time.Now()
 	return func(ok bool) {
+		since := time.Since(start)
 		m.cells.Inc()
 		if !ok {
 			m.errors.Inc()
 		}
-		m.latency.Observe(float64(time.Since(start).Milliseconds()))
+		ms := float64(since) / float64(time.Millisecond)
+		m.latency.Observe(float64(since.Milliseconds()))
+		if progDone != nil {
+			progDone(ok, since)
+		}
+		s.ev.Log(ctx, "plan", "cell.done",
+			F("key", key), F("index", index), F("ok", ok), F("wall_ms", ms))
 		if tb := s.tr.trackByName("plan"); tb != nil {
 			outcome := 1.0
 			if !ok {
 				outcome = 0
 			}
-			tb.emit(traceEvent{name: key, ph: 'I', ts: uint64(index), args: []traceArg{
-				{"ok", outcome},
-			}})
+			args := []traceArg{{"ok", outcome}}
+			if hasSpan {
+				// The span id links this cell event to its request's span
+				// on the serve track of the same trace.
+				args = append(args, traceArg{"span", float64(span)})
+			}
+			tb.emit(traceEvent{name: key, ph: 'I', ts: uint64(index), args: args})
 		}
 	}
 }

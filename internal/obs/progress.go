@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress is the live cell-grid aggregator: the plan runner reports each
+// cell's lifecycle (declared → queued → running → done/error) through the
+// Sink, and Progress folds those events into per-experiment counts, a
+// rolling EWMA of cell wall latency, and a derived ETA. Consumers outside
+// the simulation packages — vpsim's -progress stderr line, vpserve's
+// GET /v1/progress — read it back with Snapshot while the grid is still
+// running.
+//
+// Like every obs type it is strictly write-only from the simulator's side:
+// plan and experiment only ever push events into it, and detlint's
+// obs-read rule forbids the restricted packages from calling Snapshot, so
+// live progress can never steer a simulation. Wall-clock time is read only
+// here (the obs exemption): cell durations feed the EWMA, which is
+// reporting metadata and never becomes simulated time.
+//
+// All methods are nil-safe; a nil *Progress costs its callers one nil
+// check per event.
+type Progress struct {
+	mu    sync.Mutex
+	exps  map[string]*expState
+	order []string // registration order; snapshots sort, never range the map
+}
+
+// expState is the mutable per-experiment tally behind one Progress entry.
+type expState struct {
+	total   int64
+	queued  int64
+	running int64
+	done    int64
+	errors  int64
+	// ewmaMS is the rolling EWMA of completed-cell wall latency in
+	// milliseconds; ewmaInit marks the first observation (which seeds the
+	// average instead of decaying from zero).
+	ewmaMS   float64
+	ewmaInit bool
+}
+
+// ewmaAlpha weights the most recent cell completion. 0.25 settles within
+// ~8 cells while still smoothing the bimodal mix of cheap analysis cells
+// and full-trace simulations that share one experiment grid.
+const ewmaAlpha = 0.25
+
+// NewProgress returns an empty aggregator.
+func NewProgress() *Progress {
+	return &Progress{exps: make(map[string]*expState)}
+}
+
+// state returns the named experiment's tally, creating it on first use.
+// Called with p.mu held.
+func (p *Progress) state(exp string) *expState {
+	st, ok := p.exps[exp]
+	if !ok {
+		st = &expState{}
+		p.exps[exp] = st
+		p.order = append(p.order, exp)
+	}
+	return st
+}
+
+// declare adds n cells to the experiment's total (grid declaration).
+func (p *Progress) declare(exp string, n int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.state(exp).total += n
+	p.mu.Unlock()
+}
+
+// queued moves the experiment's token-wait count by delta.
+func (p *Progress) cellQueued(exp string, delta int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.state(exp).queued += delta
+	p.mu.Unlock()
+}
+
+// cellRunning marks one cell admitted onto a worker.
+func (p *Progress) cellRunning(exp string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.state(exp).running++
+	p.mu.Unlock()
+}
+
+// cellDone marks one running cell finished, folding its wall latency into
+// the experiment's EWMA.
+func (p *Progress) cellDone(exp string, ok bool, wallMS float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	st := p.state(exp)
+	st.running--
+	st.done++
+	if !ok {
+		st.errors++
+	}
+	if st.ewmaInit {
+		st.ewmaMS = ewmaAlpha*wallMS + (1-ewmaAlpha)*st.ewmaMS
+	} else {
+		st.ewmaMS, st.ewmaInit = wallMS, true
+	}
+	p.mu.Unlock()
+}
+
+// cellSkipped marks one declared cell abandoned before it ran (grid
+// cancellation): it counts as done-with-error so Done converges on Total
+// and a canceled run still reads as complete rather than stuck.
+func (p *Progress) cellSkipped(exp string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	st := p.state(exp)
+	st.done++
+	st.errors++
+	p.mu.Unlock()
+}
+
+// ExperimentProgress is one experiment's live tally in a snapshot. ETAMS
+// extrapolates the remaining cells at the EWMA cell latency over the cells
+// currently on workers: remaining × ewma ÷ max(running, 1). Zero until the
+// first cell of the experiment completes.
+type ExperimentProgress struct {
+	Experiment string  `json:"experiment"`
+	Total      int64   `json:"total"`
+	Done       int64   `json:"done"`
+	Errors     int64   `json:"errors"`
+	Running    int64   `json:"running"`
+	Queued     int64   `json:"queued"`
+	EWMACellMS float64 `json:"ewma_cell_ms"`
+	ETAMS      float64 `json:"eta_ms"`
+}
+
+// ProgressSnapshot is a point-in-time copy of the aggregator, with
+// experiments sorted by id so rendering it is deterministic for a given
+// state. Done is monotone non-decreasing and never exceeds Total.
+type ProgressSnapshot struct {
+	Total       int64                `json:"total"`
+	Done        int64                `json:"done"`
+	Errors      int64                `json:"errors"`
+	Running     int64                `json:"running"`
+	Queued      int64                `json:"queued"`
+	Experiments []ExperimentProgress `json:"experiments"`
+}
+
+// Snapshot copies the aggregator's current state. A nil Progress yields an
+// empty snapshot. (Snapshot is a read-back: detlint bars the simulation
+// packages from calling it, exactly like Registry.Snapshot.)
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var s ProgressSnapshot
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	names := append([]string(nil), p.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		st := p.exps[name]
+		remaining := st.total - st.done
+		div := st.running
+		if div < 1 {
+			div = 1
+		}
+		var eta float64
+		if st.ewmaInit && remaining > 0 {
+			eta = float64(remaining) * st.ewmaMS / float64(div)
+		}
+		s.Experiments = append(s.Experiments, ExperimentProgress{
+			Experiment: name,
+			Total:      st.total,
+			Done:       st.done,
+			Errors:     st.errors,
+			Running:    st.running,
+			Queued:     st.queued,
+			EWMACellMS: st.ewmaMS,
+			ETAMS:      eta,
+		})
+		s.Total += st.total
+		s.Done += st.done
+		s.Errors += st.errors
+		s.Running += st.running
+		s.Queued += st.queued
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// --- Sink integration ---
+
+// WithProgress derives a sink that additionally feeds the aggregator.
+// Deriving from a nil sink materializes a minimal one (all metric handles
+// disabled), so `-progress` works without `-metrics`; a nil aggregator
+// returns the sink unchanged. The aggregator is inherited by Track
+// children, so every cell of every grid run through the sink reports into
+// the same Progress.
+func (s *Sink) WithProgress(p *Progress) *Sink {
+	if p == nil {
+		return s
+	}
+	var child Sink
+	if s != nil {
+		child = *s
+	}
+	child.prog = p
+	return &child
+}
+
+// GridStart declares a grid's cells to the aggregator: exps holds one
+// experiment id per cell in canonical order. No-op on a nil sink.
+func (s *Sink) GridStart(exps []string) {
+	if s == nil || s.prog == nil {
+		return
+	}
+	// Counting per id first keeps the lock pattern O(distinct ids): a grid
+	// is typically many cells of one experiment.
+	counts := make(map[string]int64, 1)
+	var order []string
+	for _, exp := range exps {
+		if _, ok := counts[exp]; !ok {
+			order = append(order, exp)
+		}
+		counts[exp]++
+	}
+	for _, exp := range order {
+		s.prog.declare(exp, counts[exp])
+	}
+}
+
+// CellSkipped reports a declared cell that will never run because the grid
+// was canceled before it was admitted. No-op on a nil sink.
+func (s *Sink) CellSkipped(exp string) {
+	if s == nil {
+		return
+	}
+	s.prog.cellSkipped(exp)
+}
+
+// progressStart marks a cell admitted and returns the completion hook used
+// by CellStart's callback. Split out so the wall-clock read stays in one
+// place. Nil-safe via the underlying aggregator.
+func (s *Sink) progressStart(exp string) func(ok bool, since time.Duration) {
+	if s == nil || s.prog == nil {
+		return nil
+	}
+	s.prog.cellRunning(exp)
+	prog := s.prog
+	return func(ok bool, since time.Duration) {
+		prog.cellDone(exp, ok, float64(since)/float64(time.Millisecond))
+	}
+}

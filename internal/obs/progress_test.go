@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestProgressLifecycle(t *testing.T) {
+	p := NewProgress()
+	s := (*Sink)(nil).WithProgress(p)
+	if s == nil {
+		t.Fatal("WithProgress on a nil sink should materialize one")
+	}
+
+	s.GridStart([]string{"fig3.1", "fig3.1", "fig3.1", "fig5.1"})
+	snap := p.Snapshot()
+	if snap.Total != 4 || snap.Done != 0 {
+		t.Fatalf("after GridStart: total=%d done=%d, want 4/0", snap.Total, snap.Done)
+	}
+	if len(snap.Experiments) != 2 {
+		t.Fatalf("experiments = %d, want 2", len(snap.Experiments))
+	}
+	// Sorted by id.
+	if snap.Experiments[0].Experiment != "fig3.1" || snap.Experiments[1].Experiment != "fig5.1" {
+		t.Fatalf("experiment order = %q, %q", snap.Experiments[0].Experiment, snap.Experiments[1].Experiment)
+	}
+	if snap.Experiments[0].Total != 3 || snap.Experiments[1].Total != 1 {
+		t.Fatalf("per-experiment totals = %d, %d, want 3, 1",
+			snap.Experiments[0].Total, snap.Experiments[1].Total)
+	}
+
+	s.CellQueued("fig3.1", 1)
+	if got := p.Snapshot().Queued; got != 1 {
+		t.Fatalf("queued = %d, want 1", got)
+	}
+	s.CellQueued("fig3.1", -1)
+
+	done := s.CellStart(context.Background(), "fig3.1", "fig3.1/gcc/seed=1", 0)
+	if got := p.Snapshot().Running; got != 1 {
+		t.Fatalf("running = %d, want 1", got)
+	}
+	done(true)
+	snap = p.Snapshot()
+	if snap.Done != 1 || snap.Running != 0 || snap.Errors != 0 {
+		t.Fatalf("after one ok cell: done=%d running=%d errors=%d", snap.Done, snap.Running, snap.Errors)
+	}
+
+	done = s.CellStart(context.Background(), "fig3.1", "fig3.1/go/seed=1", 1)
+	done(false)
+	snap = p.Snapshot()
+	if snap.Done != 2 || snap.Errors != 1 {
+		t.Fatalf("after a failed cell: done=%d errors=%d, want 2, 1", snap.Done, snap.Errors)
+	}
+
+	// Skipped cells converge Done on Total so a canceled grid reads as
+	// complete.
+	s.CellSkipped("fig3.1")
+	s.CellSkipped("fig5.1")
+	snap = p.Snapshot()
+	if snap.Done != 4 || snap.Done != snap.Total {
+		t.Fatalf("after skips: done=%d total=%d, want equal at 4", snap.Done, snap.Total)
+	}
+}
+
+func TestProgressEWMAAndETA(t *testing.T) {
+	p := NewProgress()
+	p.declare("e", 10)
+	p.cellRunning("e")
+	p.cellDone("e", true, 100)
+	st := p.Snapshot().Experiments[0]
+	if st.EWMACellMS != 100 {
+		t.Fatalf("first observation should seed the EWMA: got %v", st.EWMACellMS)
+	}
+	// remaining=9, running=0 → divisor clamps to 1.
+	if want := 9.0 * 100; st.ETAMS != want {
+		t.Fatalf("ETA = %v, want %v", st.ETAMS, want)
+	}
+
+	p.cellRunning("e")
+	p.cellRunning("e")
+	p.cellDone("e", true, 200)
+	st = p.Snapshot().Experiments[0]
+	want := ewmaAlpha*200 + (1-ewmaAlpha)*100
+	if math.Abs(st.EWMACellMS-want) > 1e-9 {
+		t.Fatalf("EWMA after second observation = %v, want %v", st.EWMACellMS, want)
+	}
+	// remaining=8, one cell still running.
+	if wantETA := 8 * want / 1; math.Abs(st.ETAMS-wantETA) > 1e-9 {
+		t.Fatalf("ETA = %v, want %v", st.ETAMS, wantETA)
+	}
+}
+
+func TestProgressMonotoneUnderConcurrency(t *testing.T) {
+	p := NewProgress()
+	s := (*Sink)(nil).WithProgress(p)
+	const cells = 200
+	exps := make([]string, cells)
+	for i := range exps {
+		exps[i] = "hammer"
+	}
+	s.GridStart(exps)
+
+	stop := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		var lastDone, lastTotal int64
+		for {
+			snap := p.Snapshot()
+			if snap.Done < lastDone {
+				t.Errorf("done went backwards: %d -> %d", lastDone, snap.Done)
+				return
+			}
+			if snap.Total < lastTotal {
+				t.Errorf("total went backwards: %d -> %d", lastTotal, snap.Total)
+				return
+			}
+			if snap.Done > snap.Total {
+				t.Errorf("done %d exceeds total %d", snap.Done, snap.Total)
+				return
+			}
+			lastDone, lastTotal = snap.Done, snap.Total
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cells; i += 8 {
+				s.CellQueued("hammer", 1)
+				s.CellQueued("hammer", -1)
+				done := s.CellStart(context.Background(), "hammer", "k", i)
+				done(i%7 != 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	watcher.Wait()
+
+	snap := p.Snapshot()
+	if snap.Done != cells || snap.Total != cells {
+		t.Fatalf("final done/total = %d/%d, want %d/%d", snap.Done, snap.Total, cells, cells)
+	}
+	if snap.Running != 0 || snap.Queued != 0 {
+		t.Fatalf("final running=%d queued=%d, want 0/0", snap.Running, snap.Queued)
+	}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.declare("e", 1)
+	p.cellQueued("e", 1)
+	p.cellRunning("e")
+	p.cellDone("e", true, 1)
+	p.cellSkipped("e")
+	if snap := p.Snapshot(); snap.Total != 0 || len(snap.Experiments) != 0 {
+		t.Fatalf("nil Progress snapshot should be empty, got %+v", snap)
+	}
+
+	var s *Sink
+	s.GridStart([]string{"e"})
+	s.CellQueued("e", 1)
+	s.CellSkipped("e")
+	done := s.CellStart(context.Background(), "e", "k", 0)
+	done(true)
+	if hook := s.progressStart("e"); hook != nil {
+		t.Fatal("nil sink progressStart should return nil hook")
+	}
+	if s.WithProgress(nil) != nil {
+		t.Fatal("nil sink + nil progress should stay nil")
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), the wire format every Prometheus-compatible scraper
+// speaks. The mapping from the registry's canonical dotted names is
+// mechanical and stable:
+//
+//   - dots and any other non-[a-zA-Z0-9_] byte become '_', and every name
+//     gains the "vp_" namespace prefix ("serve.latency_ms" →
+//     "vp_serve_latency_ms");
+//   - counters gain the conventional "_total" suffix;
+//   - dynamic name families are folded into stable label sets: the
+//     per-status counters "serve.status.<code>" become one
+//     "vp_serve_status_total" family with a code="<code>" label, so a
+//     scraper sees a fixed metric set regardless of which codes occurred;
+//   - histograms render cumulative "_bucket{le=...}" series (the
+//     registry's per-bucket counts are summed upward) plus "_sum" and
+//     "_count", with le="+Inf" equal to _count as the format requires.
+//
+// Output order is the snapshot's name order plus sorted label values, so
+// the exposition is deterministic for a given snapshot — the same
+// discipline as WriteText and the tracer.
+
+// promName maps a canonical dotted metric name to its Prometheus family
+// name (without kind suffixes).
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("vp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// labeledFamilies maps a canonical name prefix to the label key its last
+// dotted element becomes. The only dynamic family so far is the per-status
+// request counter; new families added here keep the exposition's label
+// sets stable by construction.
+var labeledFamilies = map[string]string{
+	"serve.status": "code",
+}
+
+// splitFamily reports whether name belongs to a labeled family, returning
+// the family prefix and the label value (the element after the prefix).
+func splitFamily(name string) (prefix, value string, ok bool) {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return "", "", false
+	}
+	if _, ok := labeledFamilies[name[:i]]; !ok {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Families appear in snapshot (sorted-name) order, each preceded
+// by its # TYPE line.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Counters: labeled families are grouped under one TYPE line; the
+	// snapshot's sorted order already groups the members contiguously.
+	var lastFamily string
+	for _, c := range s.Counters {
+		if prefix, value, ok := splitFamily(c.Name); ok {
+			fam := promName(prefix) + "_total"
+			if fam != lastFamily {
+				if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
+					return err
+				}
+				lastFamily = fam
+			}
+			if _, err := fmt.Fprintf(w, "%s{%s=%s} %d\n",
+				fam, labeledFamilies[prefix], strconv.Quote(value), c.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		name := promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+		lastFamily = name
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// The snapshot records each bucket's own count; the exposition
+		// format wants cumulative counts with le="+Inf" last.
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%s} %d\n", name, strconv.Quote(b.Le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			name, strconv.FormatFloat(h.Sum, 'g', -1, 64), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.requests":       "vp_serve_requests",
+		"plan.cell_latency_ms": "vp_plan_cell_latency_ms",
+		"a.b-c/d":              "vp_a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusBasic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests").Add(3)
+	reg.Gauge("serve.inflight").Set(2)
+	h := reg.Histogram("serve.latency_ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE vp_serve_requests_total counter\n",
+		"vp_serve_requests_total 3\n",
+		"# TYPE vp_serve_inflight gauge\n",
+		"vp_serve_inflight 2\n",
+		"# TYPE vp_serve_latency_ms histogram\n",
+		`vp_serve_latency_ms_bucket{le="1"} 1` + "\n",
+		`vp_serve_latency_ms_bucket{le="10"} 2` + "\n",
+		`vp_serve_latency_ms_bucket{le="+Inf"} 3` + "\n",
+		"vp_serve_latency_ms_sum 105.5\n",
+		"vp_serve_latency_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the le="+Inf" bucket equals _count.
+	if strings.Contains(out, `vp_serve_latency_ms_bucket{le="+Inf"} 1`) {
+		t.Errorf("+Inf bucket is per-bucket, not cumulative:\n%s", out)
+	}
+}
+
+func TestWritePrometheusStatusLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.status.200").Add(5)
+	reg.Counter("serve.status.404").Add(1)
+	reg.Counter("serve.requests").Add(6)
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if got := strings.Count(out, "# TYPE vp_serve_status_total counter"); got != 1 {
+		t.Fatalf("labeled family should have exactly one TYPE line, got %d\n%s", got, out)
+	}
+	for _, want := range []string{
+		`vp_serve_status_total{code="200"} 5`,
+		`vp_serve_status_total{code="404"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "vp_serve_status_200") {
+		t.Errorf("per-code counter leaked as its own family:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.two").Inc()
+	reg.Counter("a.one").Inc()
+	reg.Gauge("z.gauge").Set(1)
+	snap := reg.Snapshot()
+
+	var first, second strings.Builder
+	if err := snap.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("exposition of the same snapshot must be byte-identical")
+	}
+	if strings.Index(first.String(), "vp_a_one") > strings.Index(first.String(), "vp_b_two") {
+		t.Fatalf("families must appear in sorted name order:\n%s", first.String())
+	}
+}

@@ -1,5 +1,7 @@
 package obs
 
+import "context"
+
 // Sink is the instrumentation handle threaded through the simulator
 // layers. It fans events out to a metrics Registry (process-wide
 // aggregates) and a Tracer (per-run cycle-level event tracks); either or
@@ -16,6 +18,8 @@ type Sink struct {
 	reg   *Registry
 	tr    *Tracer
 	tb    *track
+	prog  *Progress // live cell-grid aggregator (WithProgress); may be nil
+	ev    *EventLog // structured event stream (WithEventLog); may be nil
 	m     simMetrics
 	planM planMetrics
 
@@ -247,4 +251,43 @@ func (s *Sink) Registry() *Registry {
 		return nil
 	}
 	return s.reg
+}
+
+// WithEventLog derives a sink that additionally emits structured events
+// (cell lifecycle, grid starts) into l. Deriving from a nil sink
+// materializes a minimal one, mirroring WithProgress; a nil log returns
+// the sink unchanged.
+func (s *Sink) WithEventLog(l *EventLog) *Sink {
+	if l == nil {
+		return s
+	}
+	var child Sink
+	if s != nil {
+		child = *s
+	}
+	child.ev = l
+	return &child
+}
+
+// Event forwards one structured event to the sink's event log (no-op
+// without one). It is the write-only hook the restricted packages
+// (experiment, plan) use to narrate run lifecycle without holding an
+// *EventLog themselves.
+func (s *Sink) Event(ctx context.Context, component, event string, fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.ev.Log(ctx, component, event, fields...)
+}
+
+// EventStart is the timed form of Event: it forwards to EventLog.Start,
+// emitting "<event>.start" now and "<event>.done" (with ok and wall_ms)
+// when the returned callback runs. The wall-clock read happens inside
+// obs, so restricted packages may time their phases through it. Both the
+// method and the callback are no-ops on a nil sink or absent log.
+func (s *Sink) EventStart(ctx context.Context, component, event string, fields ...Field) func(ok bool, extra ...Field) {
+	if s == nil {
+		return func(bool, ...Field) {}
+	}
+	return s.ev.Start(ctx, component, event, fields...)
 }

@@ -189,6 +189,18 @@ func Run(ctx context.Context, g *Grid, sink *obs.Sink) ([]any, error) {
 	results := make([]any, len(cells))
 	errs := make([]error, len(cells))
 
+	// Declare the grid to the live-progress aggregator: one experiment id
+	// per cell, in canonical order, so consumers see cells-total jump to
+	// its final value before the first cell runs and done/total stays
+	// monotone.
+	if sink != nil {
+		exps := make([]string, len(cells))
+		for i := range cells {
+			exps[i] = cells[i].Key.Experiment
+		}
+		sink.GridStart(exps)
+	}
+
 	workers := Workers()
 	if workers > len(cells) {
 		workers = len(cells)
@@ -207,15 +219,18 @@ func Run(ctx context.Context, g *Grid, sink *obs.Sink) ([]any, error) {
 				// Skip-on-cancel checkpoint: a canceled grid stops
 				// admitting cells; the per-index error is recorded only
 				// so the merge can tell "skipped" from "never ran".
+				exp := cells[i].Key.Experiment
 				if err := ctx.Err(); err != nil {
 					errs[i] = err
+					sink.CellSkipped(exp)
 					continue
 				}
-				sink.CellQueued(1)
+				sink.CellQueued(exp, 1)
 				tokens, err := acquire(ctx)
-				sink.CellQueued(-1)
+				sink.CellQueued(exp, -1)
 				if err != nil {
 					errs[i] = err
+					sink.CellSkipped(exp)
 					continue
 				}
 				results[i], errs[i] = runCell(ctx, cells[i], i, sink)
@@ -241,9 +256,10 @@ func Run(ctx context.Context, g *Grid, sink *obs.Sink) ([]any, error) {
 // runCell executes one cell under the runner's panic barrier and
 // instrumentation. index is the cell's canonical position, which the
 // tracer uses as the event timestamp so exported traces stay
-// byte-identical run to run.
+// byte-identical run to run. ctx carries the request span (if any) that
+// the lifecycle events are stamped with.
 func runCell(ctx context.Context, c Cell, index int, sink *obs.Sink) (result any, err error) {
-	done := sink.CellStart(c.Key.String(), index)
+	done := sink.CellStart(ctx, c.Key.Experiment, c.Key.String(), index)
 	defer func() {
 		if p := recover(); p != nil {
 			result, err = nil, fmt.Errorf("cell panicked: %v", p)

@@ -95,6 +95,15 @@ type Config struct {
 	// Registry receives the serve.* metrics and the simulators'
 	// instrumentation (nil = a fresh registry). Exposed at /v1/metrics.
 	Registry *obs.Registry
+	// EventLog, when non-nil, receives the structured event stream:
+	// request.start/done from the middleware, simulation.start/done per
+	// flight, and cell.start/done from the plan runner — every line
+	// span-stamped so one request's work is grep-able end to end.
+	EventLog *obs.EventLog
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints are a diagnostic surface, not part of
+	// the public API (vpserve's -pprof flag turns them on).
+	EnablePprof bool
 }
 
 // apiError is a structured error reply; the wire form is
@@ -115,9 +124,11 @@ var errSaturated = errors.New("serve: all simulation slots are busy")
 
 // flight is one in-progress simulation that coalesced requests join.
 type flight struct {
-	done  chan struct{}
-	table *stats.Table
-	err   error
+	done       chan struct{}
+	experiment string       // experiment id, for /v1/progress
+	followers  atomic.Int64 // coalesced requests currently waiting
+	table      *stats.Table
+	err        error
 }
 
 // serveMetrics are the pre-resolved registry handles for the serve.* names.
@@ -143,11 +154,13 @@ var latencyBounds = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
 // none of http.Server's lifecycle itself — mount Handler on any server and
 // call BeginDrain/Close around that server's Shutdown for a graceful exit.
 type Server struct {
-	cfg  Config
-	reg  *obs.Registry
-	sink *obs.Sink
-	mux  *http.ServeMux
-	sem  chan struct{}
+	cfg      Config
+	reg      *obs.Registry
+	sink     *obs.Sink
+	progress *obs.Progress
+	events   *obs.EventLog
+	mux      *http.ServeMux
+	sem      chan struct{}
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -190,10 +203,16 @@ func New(cfg Config) *Server {
 	}
 	//lint:ignore ctxlint server construction is the process root; this context has no caller to inherit from
 	ctx, cancel := context.WithCancel(context.Background())
+	progress := obs.NewProgress()
 	s := &Server{
-		cfg:        cfg,
-		reg:        reg,
-		sink:       obs.New(reg, nil),
+		cfg:      cfg,
+		reg:      reg,
+		progress: progress,
+		events:   cfg.EventLog,
+		// The sink the simulations write through feeds the registry, the
+		// live Progress aggregator and (when configured) the event log; the
+		// plan runner inherits all three through Params.Obs.
+		sink:       obs.New(reg, nil).WithProgress(progress).WithEventLog(cfg.EventLog),
 		mux:        http.NewServeMux(),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		flights:    make(map[string]*flight),
@@ -216,10 +235,18 @@ func New(cfg Config) *Server {
 	}
 	s.run = s.simulate
 	s.store().Instrument(reg)
+	if cfg.EventLog != nil {
+		s.store().InstrumentEvents(cfg.EventLog)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	return s
 }
 
@@ -273,10 +300,19 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrumented wraps next with panic recovery, the request counter, the
-// latency histogram and per-status-code counters.
+// latency histogram and per-status-code counters. It also mints the
+// request's span id: every request gets a fresh "req-<n>" span attached
+// to its context (and echoed in the X-Span response header), which the
+// event log and the plan tracer use to correlate a request with the
+// simulation cells it scheduled.
 func (s *Server) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests.Inc()
+		ctx := obs.WithSpan(r.Context(), obs.NextSpan())
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Span", obs.SpanName(ctx))
+		s.events.Log(ctx, "serve", "request.start",
+			obs.F("method", r.Method), obs.F("path", r.URL.Path))
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
@@ -292,6 +328,10 @@ func (s *Server) instrumented(next http.Handler) http.Handler {
 			}
 			s.m.latency.Observe(float64(time.Since(start).Milliseconds()))
 			s.reg.Counter(fmt.Sprintf("serve.status.%d", rec.code)).Inc()
+			s.events.Log(ctx, "serve", "request.done",
+				obs.F("method", r.Method), obs.F("path", r.URL.Path),
+				obs.F("status", rec.code),
+				obs.F("wall_ms", float64(time.Since(start))/float64(time.Millisecond)))
 		}()
 		next.ServeHTTP(rec, r)
 	})
@@ -410,6 +450,8 @@ func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats
 	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
 		s.m.coalesced.Inc()
+		f.followers.Add(1)
+		defer f.followers.Add(-1)
 		select {
 		case <-f.done:
 			return f.table, "coalesced", f.err
@@ -432,7 +474,7 @@ func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats
 		s.mu.Unlock()
 		return nil, "", errSaturated
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), experiment: id}
 	s.flights[key] = f
 	s.mu.Unlock()
 	s.m.cacheMisses.Inc()
@@ -452,6 +494,14 @@ func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats
 	func() {
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
 		defer cancel()
+		// Span propagation is value-only: the simulation context descends
+		// from baseCtx for cancellation, but re-attaching the leader's span
+		// links every cell event this flight schedules back to its request.
+		if span, ok := obs.SpanID(reqCtx); ok {
+			ctx = obs.WithSpan(ctx, span)
+		}
+		simDone := s.events.Start(ctx, "serve", "simulation",
+			obs.F("experiment", id), obs.F("key", key))
 		defer func() {
 			if p := recover(); p != nil {
 				s.m.panics.Inc()
@@ -461,6 +511,7 @@ func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats
 					Message: fmt.Sprint(p),
 				}
 			}
+			simDone(f.err == nil)
 		}()
 		f.table, f.err = s.run(ctx, id, rr)
 	}()

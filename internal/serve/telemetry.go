@@ -1,0 +1,81 @@
+package serve
+
+// This file is the serve side of the live-telemetry layer (DESIGN.md §10):
+// the Prometheus exposition endpoint, the live progress endpoint, and the
+// opt-in pprof mount. The write side — span minting in the middleware and
+// the event-log lines — lives next to the code it narrates in serve.go.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"valuepred/internal/obs"
+)
+
+// handlePrometheus serves the registry snapshot in Prometheus text
+// exposition format (version 0.0.4) at GET /metrics — the conventional
+// scrape path, kept separate from the versioned JSON API. The same
+// counters, gauges and histograms as /v1/metrics, rendered for scrapers
+// instead of humans.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+		return // client went away mid-scrape; nothing useful left to do
+	}
+}
+
+// flightProgress is one in-flight simulation in the /v1/progress reply.
+type flightProgress struct {
+	// Key is the coalescing key: the experiment id plus canonical
+	// parameters.
+	Key string `json:"key"`
+	// Experiment is the experiment id, matching an entry of
+	// progress.experiments while the flight's cells run.
+	Experiment string `json:"experiment"`
+	// Followers counts coalesced requests currently waiting on this
+	// flight (the leader is not counted).
+	Followers int64 `json:"followers"`
+}
+
+// progressReply is the GET /v1/progress body: the cell-grid aggregator's
+// snapshot plus the in-flight simulations, so a follower polling the
+// endpoint can see both its flight and the per-experiment cell counts
+// behind it.
+type progressReply struct {
+	Progress obs.ProgressSnapshot `json:"progress"`
+	Flights  []flightProgress     `json:"flights"`
+}
+
+// handleProgress serves the live progress snapshot. Cheap by design — two
+// mutex-guarded copies, no simulation state touched — so it is safe to
+// poll at any rate while grids run.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	flights := make([]flightProgress, 0, len(s.flights))
+	for key, f := range s.flights {
+		flights = append(flights, flightProgress{
+			Key:        key,
+			Experiment: f.experiment,
+			Followers:  f.followers.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(flights, func(i, j int) bool { return flights[i].Key < flights[j].Key })
+	writeJSON(w, http.StatusOK, progressReply{
+		Progress: s.progress.Snapshot(),
+		Flights:  flights,
+	})
+}
+
+// mountPprof exposes net/http/pprof on the server's own mux (the package's
+// init only registers on http.DefaultServeMux, which this service never
+// serves). Gated behind Config.EnablePprof: profiling is a diagnostic
+// surface, not part of the public API.
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"valuepred/internal/obs"
+	"valuepred/internal/stats"
+)
+
+// syncBuffer is a goroutine-safe event-log destination for tests: the
+// EventLog serializes writes, but the test goroutine reads concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// One real request first, so the counters are non-zero and the
+	// per-status family exists.
+	if status, _, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery); status != http.StatusOK {
+		t.Fatalf("warmup status = %d, body: %s", status, body)
+	}
+	status, hdr, body := get(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	for _, want := range []string{
+		"# TYPE vp_serve_requests_total counter",
+		"vp_serve_requests_total ",
+		`vp_serve_status_total{code="200"} `,
+		"# TYPE vp_serve_latency_ms histogram",
+		`vp_serve_latency_ms_bucket{le="+Inf"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+	// Simulation metrics flow through the same registry.
+	if !strings.Contains(body, "vp_sim_cycles_total") {
+		t.Errorf("exposition missing the simulation counters:\n%s", body)
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{})
+	s.run = func(ctx context.Context, id string, rr runRequest) (*stats.Table, error) {
+		close(started)
+		<-release
+		return &stats.Table{Title: "stub"}, nil
+	}
+
+	// Idle server: the endpoint answers with an empty snapshot.
+	status, _, body := get(t, ts, "/v1/progress")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/progress = %d", status)
+	}
+	var idle struct {
+		Progress obs.ProgressSnapshot `json:"progress"`
+		Flights  []struct {
+			Key        string `json:"key"`
+			Experiment string `json:"experiment"`
+			Followers  int64  `json:"followers"`
+		} `json:"flights"`
+	}
+	if err := json.Unmarshal([]byte(body), &idle); err != nil {
+		t.Fatalf("progress body is not JSON: %v\n%s", err, body)
+	}
+	if len(idle.Flights) != 0 || idle.Progress.Total != 0 {
+		t.Fatalf("idle progress should be empty, got %s", body)
+	}
+
+	// One leader plus one coalesced follower in flight.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+		}()
+	}
+	<-started
+	// The follower registers after the leader; poll until it shows up.
+	deadline := time.Now().Add(5 * time.Second)
+	var live struct {
+		Flights []struct {
+			Key        string `json:"key"`
+			Experiment string `json:"experiment"`
+			Followers  int64  `json:"followers"`
+		} `json:"flights"`
+	}
+	for {
+		_, _, body = get(t, ts, "/v1/progress")
+		if err := json.Unmarshal([]byte(body), &live); err != nil {
+			t.Fatalf("progress body is not JSON: %v\n%s", err, body)
+		}
+		if len(live.Flights) == 1 && live.Flights[0].Followers == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 1 flight with 1 follower, last body: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if live.Flights[0].Experiment != "fig5.1" {
+		t.Errorf("flight experiment = %q, want fig5.1", live.Flights[0].Experiment)
+	}
+	if !strings.HasPrefix(live.Flights[0].Key, "fig5.1|") {
+		t.Errorf("flight key = %q, want the coalescing key", live.Flights[0].Key)
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Settled: the flight list drains.
+	_, _, body = get(t, ts, "/v1/progress")
+	if err := json.Unmarshal([]byte(body), &live); err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Flights) != 0 {
+		t.Errorf("flights should drain after completion, got %s", body)
+	}
+}
+
+// TestProgressCountsRealCells runs a real (tiny) simulation and checks the
+// plan runner's cell lifecycle lands in the server's aggregator.
+func TestProgressCountsRealCells(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if status, _, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery); status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, body)
+	}
+	snap := s.progress.Snapshot()
+	if snap.Total == 0 || snap.Done != snap.Total {
+		t.Fatalf("after a completed run: done/total = %d/%d, want equal and non-zero",
+			snap.Done, snap.Total)
+	}
+	if snap.Running != 0 || snap.Queued != 0 {
+		t.Fatalf("after a completed run: running=%d queued=%d", snap.Running, snap.Queued)
+	}
+}
+
+func TestEventLogAndSpans(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{EventLog: obs.NewEventLog(&buf)})
+
+	status, hdr, body := get(t, ts, "/v1/experiments/fig5.1"+tinyQuery)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", status, body)
+	}
+	span := hdr.Get("X-Span")
+	if !strings.HasPrefix(span, "req-") {
+		t.Fatalf("X-Span = %q, want a req-<n> id", span)
+	}
+
+	// request.done is written in the middleware's defer; give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), `"event":"request.done"`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("request.done never appeared in the event log:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	type event struct {
+		Span      string         `json:"span"`
+		Component string         `json:"component"`
+		Event     string         `json:"event"`
+		Fields    map[string]any `json:"fields"`
+	}
+	var events []event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("event line is not JSON: %v\n%s", err, line)
+		}
+		events = append(events, e)
+	}
+
+	// Every stage of the request — middleware, flight, plan cells — must be
+	// present and stamped with the same span id.
+	want := map[string]bool{
+		"serve/request.start":    false,
+		"serve/simulation.start": false,
+		"plan/cell.start":        false,
+		"plan/cell.done":         false,
+		"serve/simulation.done":  false,
+		"serve/request.done":     false,
+	}
+	for _, e := range events {
+		k := e.Component + "/" + e.Event
+		if _, tracked := want[k]; !tracked {
+			continue
+		}
+		want[k] = true
+		if e.Span != span {
+			t.Errorf("%s has span %q, want %q (end-to-end correlation)", k, e.Span, span)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("event log missing %s:\n%s", k, buf.String())
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	_, tsOff := newTestServer(t, Config{})
+	if status, _, _ := get(t, tsOff, "/debug/pprof/"); status != http.StatusNotFound {
+		t.Errorf("pprof should be absent by default, got %d", status)
+	}
+
+	_, tsOn := newTestServer(t, Config{EnablePprof: true})
+	status, _, body := get(t, tsOn, "/debug/pprof/")
+	if status != http.StatusOK {
+		t.Errorf("pprof index with EnablePprof = %d", status)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not look like pprof output:\n%.200s", body)
+	}
+}

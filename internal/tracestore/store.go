@@ -98,6 +98,7 @@ type Store struct {
 	inflight map[key]*flight
 	stats    Stats
 	obs      storeMetrics
+	events   *obs.EventLog
 	gen      func(name string, seed int64, n int) ([]trace.Rec, error)
 }
 
@@ -140,6 +141,18 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	}
 	s.obs.records.Set(int64(s.total))
 	s.obs.entries.Set(int64(len(s.entries)))
+}
+
+// InstrumentEvents attaches a structured event log: every cache miss that
+// runs an emulator emits generate.start/generate.done events with the
+// workload, seed, requested length and (on done) the wall milliseconds —
+// the store's slowest operation, narrated. The wall-clock read stays
+// inside obs (EventLog.Start), keeping this package clean under detlint.
+// A nil log detaches.
+func (s *Store) InstrumentEvents(l *obs.EventLog) {
+	s.mu.Lock()
+	s.events = l
+	s.mu.Unlock()
 }
 
 // Get returns the first n records of the named workload's trace for seed,
@@ -189,9 +202,15 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 		s.inflight[k] = f
 		s.stats.Misses++
 		s.obs.misses.Inc()
+		ev := s.events
 		s.mu.Unlock()
 
+		// Get's ctx-free API predates spans; generation events carry no
+		// span id (nil ctx renders span as "").
+		genDone := ev.Start(nil, "tracestore", "generate",
+			obs.F("workload", name), obs.F("seed", seed), obs.F("n", n))
 		recs, err := s.gen(name, seed, n)
+		genDone(err == nil)
 		f.recs, f.err = recs, err
 
 		s.mu.Lock()

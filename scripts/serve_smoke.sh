@@ -4,8 +4,10 @@
 # Builds vpserve and vpsim, boots the server on a free port, checks the
 # health endpoint, fetches one small figure over HTTP and diffs it against
 # the vpsim rendering of the same run (the service's byte-identity
-# contract), then shuts the server down with SIGTERM and requires a clean
-# graceful-drain exit. Run via `make serve-smoke`.
+# contract), scrapes the Prometheus exposition at /metrics, polls
+# /v1/progress while an uncached run is in flight, then shuts the server
+# down with SIGTERM and requires a clean graceful-drain exit. Run via
+# `make serve-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -72,6 +74,55 @@ curl -fsS "$base/v1/metrics" | grep -q 'counter serve\.requests' || {
     exit 1
 }
 echo "serve-smoke: metrics ok"
+
+# Prometheus exposition: GET /metrics must carry the request counter as
+# vp_serve_requests_total, and every non-comment line must parse as
+# "family{labels} value" — a scraper's view of format validity.
+curl -fsS "$base/metrics" >"$workdir/prom.txt"
+grep -q '^vp_serve_requests_total [0-9]' "$workdir/prom.txt" || {
+    echo "serve-smoke: /metrics missing vp_serve_requests_total" >&2
+    cat "$workdir/prom.txt" >&2
+    exit 1
+}
+if grep -v '^#' "$workdir/prom.txt" \
+    | grep -vE '^vp_[A-Za-z0-9_]+(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' \
+    | grep -q .; then
+    echo "serve-smoke: /metrics contains lines that do not parse as Prometheus text format:" >&2
+    grep -v '^#' "$workdir/prom.txt" \
+        | grep -vE '^vp_[A-Za-z0-9_]+(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' >&2
+    exit 1
+fi
+echo "serve-smoke: Prometheus exposition ok"
+
+# Live progress: kick off an uncached (longer) run in the background and
+# poll /v1/progress while it executes. The assertions are deliberately
+# tolerant of timing — the endpoint must answer 200 with the snapshot
+# shape (total/experiments), whether or not cells are mid-flight at the
+# instant of the poll.
+echo "serve-smoke: polling /v1/progress during a live run"
+curl -fsS "$base/v1/experiments/$ID?tracelen=$((LEN * 3))&workloads=$WORKLOADS" >/dev/null &
+bg_pid=$!
+progress_ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/v1/progress" >"$workdir/progress.json" 2>/dev/null \
+        && grep -q '"total"' "$workdir/progress.json" \
+        && grep -q '"experiments"' "$workdir/progress.json" \
+        && grep -q '"flights"' "$workdir/progress.json"; then
+        progress_ok=1
+        break
+    fi
+    sleep 0.1
+done
+wait "$bg_pid" || {
+    echo "serve-smoke: background run for the progress poll failed" >&2
+    exit 1
+}
+if [ "$progress_ok" != 1 ]; then
+    echo "serve-smoke: /v1/progress never returned a well-formed snapshot" >&2
+    cat "$workdir/progress.json" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: live progress ok"
 
 kill -TERM "$server_pid"
 drain_ok=1

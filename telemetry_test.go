@@ -1,0 +1,136 @@
+package valuepred
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTelemetryByteIdentity pins the live-telemetry side of the
+// "metrics observe, they never steer" contract: every registered
+// experiment must render byte-identically with telemetry fully off (nil
+// sink), and with the full stack on — metrics registry, Progress
+// aggregator and event log — at both pool widths. Progress feeds an EWMA
+// from the wall clock and cells report lifecycle events concurrently, so
+// any telemetry path that leaked into scheduling or merging would show up
+// here as a diff.
+func TestTelemetryByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment four times")
+	}
+	base := DefaultParams()
+	base.TraceLen = 4_000
+	base.Workloads = []string{"compress95", "li"}
+
+	render := func(workers int, telemetry bool) map[string]string {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		p := base
+		if telemetry {
+			reg := NewMetricsRegistry()
+			p.Obs = NewObsSink(reg, nil).
+				WithProgress(NewProgress()).
+				WithEventLog(NewEventLog(io.Discard))
+		}
+		out := make(map[string]string, len(Experiments()))
+		for _, e := range Experiments() {
+			tab, err := RunExperiment(e.ID, p)
+			if err != nil {
+				t.Fatalf("workers=%d telemetry=%v: %s: %v", workers, telemetry, e.ID, err)
+			}
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Fatalf("workers=%d telemetry=%v: %s: render: %v", workers, telemetry, e.ID, err)
+			}
+			out[e.ID] = sb.String()
+		}
+		return out
+	}
+
+	off := render(1, false)
+	for _, cfg := range []struct {
+		workers   int
+		telemetry bool
+	}{{1, true}, {8, false}, {8, true}} {
+		got := render(cfg.workers, cfg.telemetry)
+		for _, e := range Experiments() {
+			if off[e.ID] != got[e.ID] {
+				t.Errorf("%s: workers=1/telemetry=off and workers=%d/telemetry=%v renders differ:\n%s",
+					e.ID, cfg.workers, cfg.telemetry, firstDiff(off[e.ID], got[e.ID]))
+			}
+		}
+	}
+}
+
+// TestTelemetryLiveReadersRace hammers the read side while a real grid
+// runs: Progress.Snapshot, the Prometheus exposition and the JSON
+// snapshot are all rendered concurrently with the plan runner writing
+// cells into the same registry and aggregator. Run under -race (make
+// check does) this pins the locking of the whole telemetry read path; the
+// monotonicity assertion additionally pins the aggregator's ordering
+// contract — done never regresses and never overtakes total.
+func TestTelemetryLiveReadersRace(t *testing.T) {
+	reg := NewMetricsRegistry()
+	prog := NewProgress()
+	ev := NewEventLog(io.Discard)
+	p := DefaultParams()
+	p.TraceLen = 3_000
+	p.Workloads = []string{"compress95", "li"}
+	p.Obs = NewObsSink(reg, nil).WithProgress(prog).WithEventLog(ev)
+
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		var lastDone int64
+		for ctx.Err() == nil {
+			snap := prog.Snapshot()
+			if snap.Done < lastDone {
+				t.Errorf("progress done regressed: %d -> %d", lastDone, snap.Done)
+				return
+			}
+			if snap.Done > snap.Total {
+				t.Errorf("progress done %d exceeds total %d", snap.Done, snap.Total)
+				return
+			}
+			lastDone = snap.Done
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for ctx.Err() == nil {
+			if err := reg.Snapshot().WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if err := reg.Snapshot().WriteText(io.Discard); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+		}
+	}()
+
+	for _, id := range []string{"fig5.1", "fig3.1"} {
+		if _, err := RunExperiment(id, p); err != nil {
+			cancel()
+			readers.Wait()
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	cancel()
+	readers.Wait()
+
+	snap := prog.Snapshot()
+	if snap.Total == 0 {
+		t.Fatal("grid cells never reached the aggregator")
+	}
+	if snap.Done != snap.Total {
+		t.Fatalf("after both runs: done/total = %d/%d, want converged", snap.Done, snap.Total)
+	}
+}

@@ -16,6 +16,7 @@ package valuepred
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"valuepred/internal/btb"
 	"valuepred/internal/core"
@@ -308,6 +309,25 @@ type ObsSink = obs.Sink
 // Manifest is the machine-readable record of one simulator invocation.
 type Manifest = obs.Manifest
 
+// Progress is the live cell-grid aggregator: attach it to a sink with
+// ObsSink.WithProgress and the execution engine reports every cell's
+// lifecycle into it; read it back concurrently with Snapshot (cells
+// done/total, per-experiment EWMA cell latency and derived ETA). Strictly
+// write-only from the simulator's side — live progress can never steer a
+// run, and tables stay byte-identical with or without it.
+type Progress = obs.Progress
+
+// ProgressSnapshot is a point-in-time copy of a Progress aggregator.
+type ProgressSnapshot = obs.ProgressSnapshot
+
+// EventLog is the structured event stream of the engine and server: one
+// JSON object per line with a fixed field order (ts, span, component,
+// event, fields). Attach it with ObsSink.WithEventLog.
+type EventLog = obs.EventLog
+
+// EventField is one key/value pair of an event's payload.
+type EventField = obs.Field
+
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
@@ -323,9 +343,21 @@ func NewObsSink(reg *MetricsRegistry, tr *Tracer) *ObsSink { return obs.New(reg,
 // BeginManifest starts a run manifest for the named tool.
 func BeginManifest(tool string) *Manifest { return obs.Begin(tool) }
 
+// NewProgress returns an empty live-progress aggregator.
+func NewProgress() *Progress { return obs.NewProgress() }
+
+// NewEventLog returns an event log writing one JSON line per event to w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }
+
 // InstrumentTraceStore mirrors the shared trace store's counters into reg
 // under the "tracestore." prefix.
 func InstrumentTraceStore(reg *MetricsRegistry) { tracestore.Shared().Instrument(reg) }
+
+// InstrumentTraceStoreEvents attaches l to the shared trace store: every
+// cache miss that runs an emulator emits generate.start/generate.done
+// events with the workload, seed and wall milliseconds. A nil log
+// detaches.
+func InstrumentTraceStoreEvents(l *EventLog) { tracestore.Shared().InstrumentEvents(l) }
 
 // InstrumentPredictor wraps p so its lookups and updates are counted in reg
 // under the "predictor." prefix. The wrapper passes predictions through
