@@ -36,22 +36,32 @@ race:
 # bench runs every benchmark and writes the parsed report — ns/op, the
 # simulated-instructions-per-second metric each benchmark reports, and the
 # derived workers=1 vs workers=max speedup of the execution engine — to
-# BENCH_pr6.json via cmd/benchjson (BENCH_pr3.json and BENCH_pr5.json are
-# the committed earlier baselines). The raw `go test -bench` text still
-# reaches the terminal. -gate makes the run fail outright if any parallel
-# sweep is slower than its serial baseline beyond benchjson's noise floor,
-# so a workers regression like PR 5's 0.92× can no longer land silently in
-# a committed report.
+# BENCH_pr9.json via cmd/benchjson (BENCH_pr3.json, BENCH_pr5.json and
+# BENCH_pr6.json are the committed earlier baselines). The raw `go test
+# -bench` text still reaches the terminal. -gate makes the run fail
+# outright if any parallel sweep is slower than its serial baseline beyond
+# benchjson's noise floor, so a workers regression like PR 5's 0.92× can
+# no longer land silently in a committed report.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -gate -o BENCH_pr6.json
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -gate -o BENCH_pr9.json
 
-# bench-gate is the CI regression check: the workers sweep alone, one
-# iteration, piped through benchjson -gate — fails on any workers_speedup
-# regression (slower than serial beyond the measurement-noise floor), or
-# on a speedup more than 10% below the committed BENCH_pr6.json baseline.
+# STREAM_MEM_BUDGET caps allocated bytes per streamed fig3.1 sweep
+# (BenchmarkFig31Stream, 8 workloads × 100k instructions, 80 cells). The
+# measured steady state is ~0.6 MB/op — the chunk pool plus per-cell
+# windows — versus the ~51 MB the eight materialized traces alone would
+# hold; 4 MB leaves headroom for allocator jitter while still failing
+# loudly if any streamed consumer rematerializes its trace.
+STREAM_MEM_BUDGET = BenchmarkFig31Stream=4000000
+
+# bench-gate is the CI regression check: the workers and streaming sweeps,
+# one iteration each, piped through benchjson — fails on any
+# workers_speedup regression (slower than serial beyond the
+# measurement-noise floor), on a speedup more than 10% below the committed
+# BENCH_pr9.json baseline, or on the streamed sweep allocating past the
+# absolute memory budget above.
 bench-gate:
-	$(GO) test -run='^$$' -bench='BenchmarkFig31Workers' -benchtime=1x -benchmem . \
-		| $(GO) run ./cmd/benchjson -gate -baseline BENCH_pr6.json -o /dev/null
+	$(GO) test -run='^$$' -bench='BenchmarkFig31Workers|BenchmarkFig31Stream' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -gate -baseline BENCH_pr9.json -membudget '$(STREAM_MEM_BUDGET)' -o /dev/null
 
 # bench-smoke is the CI variant: a single iteration of the core simulator
 # benchmarks, piped through benchjson so the parser is exercised end to end,

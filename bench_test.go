@@ -141,6 +141,48 @@ func BenchmarkFig31Workers(b *testing.B) {
 	}
 }
 
+// BenchmarkFig31Stream is BenchmarkFig31Workers for the streaming trace
+// pipeline (DESIGN.md §13): the same fig3.1 grid consumed from compressed
+// chunk sequences instead of materialized slices, at the same two pool
+// widths. The tables are byte-identical to the flat path (stream_test.go
+// pins that for every experiment), so what this benchmark tracks is the
+// streaming trade: B/op and allocs/op ride along and are gated by `make
+// bench-gate` with an absolute memory budget — the whole point of the
+// streaming path is that a run's footprint stops scaling with TraceLen,
+// and the budget makes that claim a CI failure instead of a comment.
+func BenchmarkFig31Stream(b *testing.B) {
+	p := benchParams()
+	p.Stream = true
+	cells := float64(len(workload.Names()) * len(experiment.Fig31Widths) * 2)
+	widths := []struct {
+		name string
+		n    int
+	}{
+		{"workers=1", 1},
+		{"workers=max", runtime.GOMAXPROCS(0)},
+	}
+	for _, w := range widths {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			prev := SetWorkers(w.n)
+			defer SetWorkers(prev)
+			// Warm the store's chunk sequences so B/op measures the steady
+			// state the budget gates (simulation from resident streams), not
+			// the one-time emulation+compression of the first run.
+			if _, err := RunExperiment("fig3.1", p); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunExperiment("fig3.1", p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
 // --- ablation benchmarks (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationBanks sweeps the prediction-table bank count.

@@ -31,6 +31,15 @@
 // because ns/op describes the machine while the serial/parallel ratio
 // describes the code.
 //
+// -membudget 'Name=BYTES[,Name=BYTES...]' gates absolute allocated bytes
+// per op: every benchmark whose name equals Name (or is a sub-benchmark
+// Name/...) must report B/op at or under BYTES. Unlike the speedup gates
+// this one compares an absolute number, because it enforces a structural
+// claim — the streaming trace path's footprint is bounded by the chunk
+// pool, not the trace length — and allocated bytes per op measure the
+// code, not the machine. A budget naming no benchmark in the input is an
+// error, so a renamed benchmark cannot silently disable its gate.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem | go run ./cmd/benchjson -gate -baseline BENCH_pr6.json -o /dev/null
@@ -95,11 +104,49 @@ func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout only)")
 	gate := flag.Bool("gate", false, "exit non-zero if any workers_speedup entry is a regression (parallel slower than serial beyond noise)")
 	baseline := flag.String("baseline", "", "committed benchjson report to gate against: each workers_speedup entry must reach the baseline's speedup minus tolerance")
+	membudget := flag.String("membudget", "", "comma-separated Name=BYTES budgets: each named benchmark (and its sub-benchmarks) must report B/op at or under BYTES")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out, *gate, *baseline); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *gate, *baseline, *membudget); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gateMemBudget enforces -membudget: parse the Name=BYTES specs and check
+// every matching benchmark's B/op metric against its budget. Matching is
+// by exact name or sub-benchmark prefix (Name followed by "/"); a spec
+// that matches nothing, or matches only benchmarks run without -benchmem
+// (no B/op metric), fails rather than passing vacuously.
+func gateMemBudget(benches []Bench, spec string) error {
+	for _, one := range strings.Split(spec, ",") {
+		name, bytesStr, ok := strings.Cut(strings.TrimSpace(one), "=")
+		if !ok {
+			return fmt.Errorf("membudget: bad spec %q, want Name=BYTES", one)
+		}
+		budget, err := strconv.ParseFloat(bytesStr, 64)
+		if err != nil || budget <= 0 {
+			return fmt.Errorf("membudget: bad byte budget in %q", one)
+		}
+		matched := false
+		for _, b := range benches {
+			if b.Name != name && !strings.HasPrefix(b.Name, name+"/") {
+				continue
+			}
+			bop, ok := b.Metrics["B/op"]
+			if !ok {
+				continue
+			}
+			matched = true
+			if bop > budget {
+				return fmt.Errorf("memory budget exceeded: %s allocates %.0f B/op, budget %.0f",
+					b.Name, bop, budget)
+			}
+		}
+		if !matched {
+			return fmt.Errorf("membudget: no benchmark with a B/op metric matches %q (renamed benchmark, or -benchmem missing?)", name)
+		}
+	}
+	return nil
 }
 
 // baselineTolerance is the fraction of a committed baseline speedup the
@@ -143,7 +190,7 @@ func gateBaseline(cur []Speedup, path string) error {
 	return nil
 }
 
-func run(in io.Reader, echo io.Writer, outPath string, gate bool, baseline string) error {
+func run(in io.Reader, echo io.Writer, outPath string, gate bool, baseline, membudget string) error {
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -188,6 +235,11 @@ func run(in io.Reader, echo io.Writer, outPath string, gate bool, baseline strin
 	}
 	if baseline != "" {
 		if err := gateBaseline(rep.WorkersSpeedup, baseline); err != nil {
+			return err
+		}
+	}
+	if membudget != "" {
+		if err := gateMemBudget(rep.Benchmarks, membudget); err != nil {
 			return err
 		}
 	}

@@ -46,7 +46,7 @@ func TestParseLine(t *testing.T) {
 func TestRunWritesReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var echo strings.Builder
-	if err := run(strings.NewReader(sample), &echo, path, false, ""); err != nil {
+	if err := run(strings.NewReader(sample), &echo, path, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if echo.String() != sample {
@@ -96,7 +96,7 @@ func TestRegressionFlagAndGate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var echo strings.Builder
 	// Without -gate a regressed pair is recorded but not fatal.
-	if err := run(strings.NewReader(regressedSample), &echo, path, false, ""); err != nil {
+	if err := run(strings.NewReader(regressedSample), &echo, path, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -115,13 +115,13 @@ func TestRegressionFlagAndGate(t *testing.T) {
 	}
 	// With -gate the same input exits non-zero (the report is still written).
 	echo.Reset()
-	err = run(strings.NewReader(regressedSample), &echo, path, true, "")
+	err = run(strings.NewReader(regressedSample), &echo, path, true, "", "")
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("gate did not reject regressed speedup: %v", err)
 	}
 	// A healthy report passes the gate.
 	echo.Reset()
-	if err := run(strings.NewReader(sample), &echo, "", true, ""); err != nil {
+	if err := run(strings.NewReader(sample), &echo, "", true, "", ""); err != nil {
 		t.Fatalf("gate rejected healthy speedup: %v", err)
 	}
 	// A measured ratio just under 1.0 is benchmark noise, not a regression:
@@ -130,7 +130,7 @@ func TestRegressionFlagAndGate(t *testing.T) {
 	noisySample := "BenchmarkFig31Workers/workers=1-8 \t 2\t 800000000 ns/op\n" +
 		"BenchmarkFig31Workers/workers=max-8 \t 2\t 816000000 ns/op\nPASS\n"
 	echo.Reset()
-	if err := run(strings.NewReader(noisySample), &echo, "", true, ""); err != nil {
+	if err := run(strings.NewReader(noisySample), &echo, "", true, "", ""); err != nil {
 		t.Fatalf("gate rejected 0.98x noise-band speedup: %v", err)
 	}
 }
@@ -154,9 +154,41 @@ func TestDeriveSpeedups(t *testing.T) {
 	}
 }
 
+func TestGateMemBudget(t *testing.T) {
+	benches := []Bench{
+		{Name: "BenchmarkFig31Stream/workers=1", NsPerOp: 1, Metrics: map[string]float64{"B/op": 600_000}},
+		{Name: "BenchmarkFig31Stream/workers=max", NsPerOp: 1, Metrics: map[string]float64{"B/op": 580_000}},
+		{Name: "BenchmarkPipeline", NsPerOp: 1, Metrics: map[string]float64{"B/op": 120}},
+		{Name: "BenchmarkNoMem", NsPerOp: 1},
+	}
+	// Both sub-benchmarks under budget: passes, including a second spec.
+	if err := gateMemBudget(benches, "BenchmarkFig31Stream=4000000,BenchmarkPipeline=200"); err != nil {
+		t.Errorf("under-budget run rejected: %v", err)
+	}
+	// One sub-benchmark over budget: fails and names the offender.
+	err := gateMemBudget(benches, "BenchmarkFig31Stream=590000")
+	if err == nil || !strings.Contains(err.Error(), "workers=1") {
+		t.Errorf("over-budget run not rejected with offender named: %v", err)
+	}
+	// A budget matching no benchmark (or only ones without B/op) is an
+	// error, not a vacuous pass.
+	if err := gateMemBudget(benches, "BenchmarkRenamed=1000"); err == nil {
+		t.Error("budget naming no benchmark accepted")
+	}
+	if err := gateMemBudget(benches, "BenchmarkNoMem=1000"); err == nil {
+		t.Error("budget over a -benchmem-less benchmark accepted")
+	}
+	// Malformed specs are rejected.
+	for _, bad := range []string{"BenchmarkX", "BenchmarkX=-5", "BenchmarkX=abc"} {
+		if err := gateMemBudget(benches, bad); err == nil {
+			t.Errorf("malformed spec %q accepted", bad)
+		}
+	}
+}
+
 func TestRunNoBenchmarks(t *testing.T) {
 	var echo strings.Builder
-	if err := run(strings.NewReader("PASS\nok\n"), &echo, "", false, ""); err == nil {
+	if err := run(strings.NewReader("PASS\nok\n"), &echo, "", false, "", ""); err == nil {
 		t.Error("empty input accepted")
 	}
 }

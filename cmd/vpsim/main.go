@@ -19,6 +19,13 @@
 // the first experiment runs; -cachestats reports the cache's hit/miss/
 // evict/dedup counters on stderr at exit.
 //
+// -stream selects the chunked streaming trace pipeline (DESIGN.md §13):
+// traces are cached as compressed chunk sequences and every simulated
+// machine consumes a bounded pooled window, so paper-scale runs
+// (-len 10000000 and beyond) keep peak memory governed by the chunk pool
+// instead of the trace length. Tables are byte-identical to the default
+// materialized path; -chunk overrides the records-per-chunk granularity.
+//
 // Observability: -metrics dumps the full metrics snapshot on stderr at
 // exit; -trace-out writes a Chrome trace_event JSON file (open it in
 // chrome://tracing or https://ui.perfetto.dev) with one track per simulated
@@ -97,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers     = fs.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS); tables are byte-identical at any width")
 		progress    = fs.Bool("progress", false, "render a live cells-done/total progress line on stderr while experiments run")
 		eventsOut   = fs.String("events", "", "write a structured JSON event log (one event per line) to this file")
+		stream      = fs.Bool("stream", false, "stream traces through the chunked pipeline (bounded memory; tables byte-identical)")
+		chunkSize   = fs.Int("chunk", 0, "records per streaming chunk (0 = default; only with -stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -112,6 +121,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *seeds < 1 {
 		return usagef(fs, "-seeds must be >= 1, have %d", *seeds)
+	}
+	if *chunkSize < 0 {
+		return usagef(fs, "-chunk must be >= 0 (0 = default size), have %d", *chunkSize)
+	}
+	if *chunkSize > 0 && !*stream {
+		return usagef(fs, "-chunk only applies with -stream")
 	}
 	prevWorkers := valuepred.SetWorkers(*workers)
 	defer valuepred.SetWorkers(prevWorkers)
@@ -143,6 +158,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workloads != "" {
 		p.Workloads = strings.Split(*workloads, ",")
 	}
+	p.Stream = *stream
+	p.ChunkSize = *chunkSize
 
 	// Any observability flag builds a registry; -cachestats is a formatter
 	// over the same registry snapshot (the store mirrors its counters there).
@@ -194,7 +211,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *preload {
 		for j := 0; j < *seeds; j++ {
-			if err := valuepred.PreloadTraces(p.Workloads, *seed+int64(j), *traceLen); err != nil {
+			var err error
+			if *stream {
+				err = valuepred.PreloadStreamTraces(p.Workloads, *seed+int64(j), *traceLen, *chunkSize)
+			} else {
+				err = valuepred.PreloadTraces(p.Workloads, *seed+int64(j), *traceLen)
+			}
+			if err != nil {
 				return err
 			}
 		}

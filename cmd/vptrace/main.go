@@ -2,6 +2,12 @@
 // in the binary VPT1 format (the repository's stand-in for Shade trace
 // files).
 //
+// Both directions stream record by record: recording steps the emulator
+// straight into the encoder, and decoding folds each record into a running
+// summary as it leaves the reader, so a 100M-instruction trace file is
+// inspected (or written) in constant memory — no mode materializes the
+// trace as a slice.
+//
 // Usage:
 //
 //	vptrace -workload compress95 -len 1000000 -o compress.vpt   # record
@@ -48,14 +54,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		r := trace.NewReader(f)
-		recs := trace.Collect(r, 0)
-		if err := r.Err(); err != nil {
+		if err := report(stdout, r, *dump); err != nil {
 			return err
 		}
-		report(stdout, recs, *dump)
-		return nil
+		return r.Err()
 	case *name != "":
-		recs, err := workload.Trace(*name, *seed, *traceLen)
+		src, err := workload.Open(*name, *seed, *traceLen)
 		if err != nil {
 			return err
 		}
@@ -66,27 +70,67 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			defer f.Close()
 			w := trace.NewWriter(f)
-			for _, rec := range recs {
+			var sum trace.Summarizer
+			var head []trace.Rec
+			for {
+				rec, ok := src.Next()
+				if !ok {
+					break
+				}
 				if err := w.Write(rec); err != nil {
 					return err
 				}
+				sum.Add(rec)
+				if len(head) < *dump {
+					head = append(head, rec)
+				}
+			}
+			if err := src.Err(); err != nil {
+				return err
 			}
 			if err := w.Flush(); err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %d records to %s\n", w.Count(), *outPath)
+			printReport(stdout, sum.Summary(), head)
+			return nil
 		}
-		report(stdout, recs, *dump)
-		return nil
+		return report(stdout, src, *dump)
 	default:
 		fs.Usage()
 		return fmt.Errorf("need -workload <name> or -decode <file>")
 	}
 }
 
-func report(w io.Writer, recs []trace.Rec, dump int) {
-	fmt.Fprintln(w, trace.Summarize(recs))
-	for i := 0; i < dump && i < len(recs); i++ {
-		fmt.Fprintln(w, recs[i])
+// report drains src record by record, keeping only the running summary and
+// the first dump records, then prints summary-then-dump in the command's
+// established order. Peak memory is one record plus the dump prefix,
+// independent of the trace length.
+func report(w io.Writer, src trace.Source, dump int) error {
+	var sum trace.Summarizer
+	var head []trace.Rec
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		sum.Add(rec)
+		if len(head) < dump {
+			head = append(head, rec)
+		}
+	}
+	if s, ok := src.(interface{ Err() error }); ok {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	printReport(w, sum.Summary(), head)
+	return nil
+}
+
+func printReport(w io.Writer, s trace.Summary, head []trace.Rec) {
+	fmt.Fprintln(w, s)
+	for _, rec := range head {
+		fmt.Fprintln(w, rec)
 	}
 }

@@ -1,0 +1,115 @@
+package chunk
+
+import (
+	"bytes"
+
+	"valuepred/internal/trace"
+)
+
+// Cursor streams a prefix of a Seq as a trace.Source. Each Cursor is
+// single-goroutine: it owns one pooled Chunk as its decode buffer, decodes
+// blocks into it on demand, and returns the Chunk to the pool when the
+// stream ends — so N concurrent cursors over the same Seq cost N chunks of
+// decoded records, not N trace copies. Records returned by Next are copies
+// and may be retained by the caller indefinitely.
+//
+// A Cursor abandoned before end of stream simply drops its buffer to the
+// garbage collector; Put-back is an optimization, not a correctness
+// requirement.
+type Cursor struct {
+	seq    *Seq
+	limit  int // records to serve (prefix length)
+	served int // records handed out so far
+	base   int // records in blocks[:block], i.e. Seq number of the next block's first record
+	block  int // next block to decode
+	br     bytes.Reader
+	dec    trace.Reader
+	buf    *Chunk // pooled decode buffer; nil before first fill and after release
+	// cur is the served view of the current decoded chunk. It aliases
+	// buf.Recs, which this Cursor owns until release; it is never exposed.
+	cur []trace.Rec
+	pos int // next index in cur
+	err error
+}
+
+// NewCursor returns a Source over the first n records of q (n > q.Len() is
+// clamped; n <= 0 yields an empty source). Cursors are cheap: many cells
+// holding cursors into one shared Seq is the intended sharing model.
+func NewCursor(q *Seq, n int) *Cursor {
+	if n > q.Len() {
+		n = q.Len()
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Cursor{seq: q, limit: n}
+}
+
+// Len returns the total number of records the cursor will serve, so
+// trace.Collect can size its output up front.
+func (c *Cursor) Len() int { return c.limit }
+
+// Err returns the first decode error, if any. A Seq built by Build cannot
+// produce one; Err exists so corruption is loud rather than a silent
+// truncation.
+func (c *Cursor) Err() error { return c.err }
+
+// Next implements trace.Source. The returned record is a copy.
+func (c *Cursor) Next() (trace.Rec, bool) {
+	if c.pos >= len(c.cur) && !c.fill() {
+		return trace.Rec{}, false
+	}
+	r := c.cur[c.pos]
+	c.pos++
+	c.served++
+	return r, true
+}
+
+// fill decodes the next block into the pooled buffer and points cur at the
+// prefix of it that is still within the cursor's limit.
+func (c *Cursor) fill() bool {
+	if c.served >= c.limit || c.block >= len(c.seq.blocks) || c.err != nil {
+		c.release()
+		return false
+	}
+	if c.buf == nil {
+		c.buf = getChunk()
+	}
+	b := c.seq.blocks[c.block]
+	c.br.Reset(b.data)
+	c.dec.Reset(&c.br, uint64(c.base))
+	c.buf.Recs = c.buf.Recs[:0]
+	for {
+		r, ok := c.dec.Next()
+		if !ok {
+			break
+		}
+		c.buf.Recs = append(c.buf.Recs, r)
+	}
+	if err := c.dec.Err(); err != nil {
+		c.err = err
+		c.release()
+		return false
+	}
+	c.base += b.n
+	c.block++
+	need := c.limit - c.served
+	if need < len(c.buf.Recs) {
+		c.cur = c.buf.Recs[:need]
+	} else {
+		c.cur = c.buf.Recs
+	}
+	c.pos = 0
+	return len(c.cur) > 0
+}
+
+// release returns the decode buffer to the pool and drops every alias into
+// it, so a drained cursor holds no chunk memory.
+func (c *Cursor) release() {
+	c.cur = nil
+	c.pos = 0
+	if c.buf != nil {
+		putChunk(c.buf)
+		c.buf = nil
+	}
+}

@@ -149,6 +149,14 @@ func (a *Analysis) FracPredictableLong() float64 {
 // predictability is evaluated with an infinite stride predictor per the
 // paper's Figure 3.5 methodology.
 func Analyze(recs []trace.Rec, cfg Config) *Analysis {
+	return AnalyzeSource(trace.NewSliceSource(recs), cfg)
+}
+
+// AnalyzeSource is Analyze over a streaming record source. The analysis is
+// inherently single-pass — producer state is 32 registers plus (optionally)
+// a last-store-per-address map — so it never needs the trace materialized;
+// records are consumed one at a time and not retained.
+func AnalyzeSource(src trace.Source, cfg Config) *Analysis {
 	a := &Analysis{}
 	type producer struct {
 		seq     uint64
@@ -172,7 +180,11 @@ func Analyze(recs []trace.Rec, cfg Config) *Analysis {
 		}
 	}
 
-	for _, r := range recs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		a.Insts++
 		// Consume register operands.
 		if r.Op.ReadsRs1() && r.Rs1 != 0 {

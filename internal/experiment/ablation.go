@@ -25,7 +25,7 @@ var AblationBankCounts = []int{1, 2, 4, 8, 16}
 // per workload; speedups are computed at the keyed merge against the
 // workload's shared base run.
 func AblationBanks(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -39,9 +39,9 @@ func AblationBanks(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.banks")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+			return pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
 		})
 		for _, banks := range AblationBankCounts {
 			col := fmt.Sprintf("%d banks", banks)
@@ -50,7 +50,7 @@ func AblationBanks(p Params) (*Table, error) {
 				netCfg.Banks = banks
 				cfg := pipeline.DefaultConfig()
 				cfg.Network = core.MustNew(netCfg)
-				return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+				return pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), cfg)
 			})
 		}
 	}
@@ -79,7 +79,7 @@ func AblationBanks(p Params) (*Table, error) {
 // hints (profiling is deterministic, so recomputing inside the cell keeps
 // cells self-contained without perturbing results).
 func AblationHybrid(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +95,9 @@ func AblationHybrid(p Params) (*Table, error) {
 	variants := []string{"stride", "hybrid", "hybrid+hints"}
 	g := p.newGrid("ablation.hybrid")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
+			return pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), pipeline.DefaultConfig())
 		})
 		for _, v := range variants {
 			g.cell(name, "", v, func() (any, error) {
@@ -110,7 +110,7 @@ func AblationHybrid(p Params) (*Table, error) {
 					pred = predictor.NewHybrid(1024, nil)
 				case "hybrid+hints":
 					// Profile the first quarter of the trace for hints.
-					hints = predictor.Profile(recs[:len(recs)/4], 0.6)
+					hints = predictor.ProfileSource(f.prefix(f.Len()/4), 0.6)
 					pred = predictor.NewHybrid(1024, hints)
 				}
 				netCfg := core.Config{Banks: 4, PortsPerBank: 1, Predictor: pred, Hints: hints}
@@ -120,7 +120,7 @@ func AblationHybrid(p Params) (*Table, error) {
 				}
 				cfg := pipeline.DefaultConfig()
 				cfg.Network = net
-				res, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+				res, err := pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -159,7 +159,7 @@ func max64(a, b uint64) uint64 {
 // execute; the paper's model) against ROB semantics (slots held until
 // in-order commit) on the unlimited-fetch machine.
 func AblationWindow(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -171,19 +171,19 @@ func AblationWindow(p Params) (*Table, error) {
 	cols := []string{"sched", "rob"}
 	g := p.newGrid("ablation.window")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for hi, hold := range []bool{false, true} {
 			col := cols[hi]
 			g.cell(name, col, "base", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.HoldUntilCommit = hold
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), -1), cfg)
 			})
 			g.cell(name, col, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.HoldUntilCommit = hold
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), -1), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), -1), cfg)
 			})
 		}
 	}
@@ -209,7 +209,7 @@ func AblationWindow(p Params) (*Table, error) {
 // of mispredicted values, quantifying how sensitive the paper's results are
 // to the recovery model.
 func AblationVPenalty(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -224,9 +224,9 @@ func AblationVPenalty(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.vpenalty")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+			return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), pipeline.DefaultConfig())
 		})
 		for _, pen := range penalties {
 			col := fmt.Sprintf("+%d cycles", pen)
@@ -234,7 +234,7 @@ func AblationVPenalty(p Params) (*Table, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.ValuePenalty = pen
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), cfg)
 			})
 		}
 	}

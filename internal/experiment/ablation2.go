@@ -6,7 +6,6 @@ import (
 	"valuepred/internal/ideal"
 	"valuepred/internal/pipeline"
 	"valuepred/internal/predictor"
-	"valuepred/internal/trace"
 )
 
 func init() {
@@ -19,21 +18,21 @@ func init() {
 // machine at fetch width 16: last-value, stride, classified stride
 // (the paper's choice), classified FCM and the hybrid.
 func AblationPredictor(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
 	type variant struct {
 		name string
-		mk   func(recs []trace.Rec) predictor.Predictor
+		mk   func(f feed) predictor.Predictor
 	}
 	variants := []variant{
-		{"last-value", func([]trace.Rec) predictor.Predictor { return predictor.NewLastValue() }},
-		{"stride", func([]trace.Rec) predictor.Predictor { return predictor.NewStride() }},
-		{"stride+2bc", func([]trace.Rec) predictor.Predictor { return predictor.NewClassifiedStride() }},
-		{"fcm2+2bc", func([]trace.Rec) predictor.Predictor { return predictor.NewClassifiedFCM(2) }},
-		{"hybrid+hints", func(recs []trace.Rec) predictor.Predictor {
-			return predictor.NewHybrid(1024, predictor.Profile(recs[:len(recs)/4], 0.6))
+		{"last-value", func(feed) predictor.Predictor { return predictor.NewLastValue() }},
+		{"stride", func(feed) predictor.Predictor { return predictor.NewStride() }},
+		{"stride+2bc", func(feed) predictor.Predictor { return predictor.NewClassifiedStride() }},
+		{"fcm2+2bc", func(feed) predictor.Predictor { return predictor.NewClassifiedFCM(2) }},
+		{"hybrid+hints", func(f feed) predictor.Predictor {
+			return predictor.NewHybrid(1024, predictor.ProfileSource(f.prefix(f.Len()/4), 0.6))
 		}},
 	}
 	t := &Table{
@@ -46,15 +45,15 @@ func AblationPredictor(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.predictor")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+			return ideal.Run(f.source(), ideal.DefaultConfig(16))
 		})
 		for _, v := range variants {
 			g.cell(name, v.name, "vp", func() (any, error) {
 				cfg := ideal.DefaultConfig(16)
-				cfg.Predictor = v.mk(recs)
-				return ideal.Run(trace.NewSliceSource(recs), cfg)
+				cfg.Predictor = v.mk(f)
+				return ideal.Run(f.source(), cfg)
 			})
 		}
 	}
@@ -80,7 +79,7 @@ func AblationPredictor(p Params) (*Table, error) {
 // gain of value prediction": it sweeps BTB configurations at 4 taken
 // branches per cycle and reports branch accuracy alongside VP speedup.
 func AblationBTB(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -109,15 +108,15 @@ func AblationBTB(p Params) (*Table, error) {
 	t.Columns = append(t.Columns, "acc 512", "acc 2k", "acc 8k", "acc gshare")
 	g := p.newGrid("ablation.btb")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, v := range variants {
 			g.cell(name, v.name, "base", func() (any, error) {
-				return pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), pipeline.DefaultConfig())
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), v.mk(), 4), pipeline.DefaultConfig())
 			})
 			g.cell(name, v.name, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return pipeline.Run(fetch.NewSequential(recs, v.mk(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), v.mk(), 4), cfg)
 			})
 		}
 	}
@@ -147,22 +146,22 @@ func AblationBTB(p Params) (*Table, error) {
 // multiple-branch sequential fetch, and the trace cache. All use the ideal
 // BTB so the comparison isolates the fetch mechanism.
 func AblationFetchMech(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
 	type variant struct {
 		name string
-		mk   func(recs []trace.Rec) fetch.Engine
+		mk   func(f feed) fetch.Engine
 	}
 	variants := []variant{
-		{"seq n=1", func(r []trace.Rec) fetch.Engine { return fetch.NewSequential(r, perfectBTB(), 1) }},
-		{"collapsing", func(r []trace.Rec) fetch.Engine {
-			return fetch.NewCollapsingBuffer(r, perfectBTB(), fetch.DefaultCBConfig())
+		{"seq n=1", func(f feed) fetch.Engine { return fetch.NewSequentialSource(f.source(), perfectBTB(), 1) }},
+		{"collapsing", func(f feed) fetch.Engine {
+			return fetch.NewCollapsingBufferSource(f.source(), perfectBTB(), fetch.DefaultCBConfig())
 		}},
-		{"seq n=4", func(r []trace.Rec) fetch.Engine { return fetch.NewSequential(r, perfectBTB(), 4) }},
-		{"trace cache", func(r []trace.Rec) fetch.Engine {
-			return fetch.NewTraceCache(r, perfectBTB(), fetch.DefaultTCConfig())
+		{"seq n=4", func(f feed) fetch.Engine { return fetch.NewSequentialSource(f.source(), perfectBTB(), 4) }},
+		{"trace cache", func(f feed) fetch.Engine {
+			return fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig())
 		}},
 	}
 	t := &Table{
@@ -175,15 +174,15 @@ func AblationFetchMech(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.fetchmech")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, v := range variants {
 			g.cell(name, v.name, "base", func() (any, error) {
-				return pipeline.Run(v.mk(recs), pipeline.DefaultConfig())
+				return pipeline.Run(v.mk(f), pipeline.DefaultConfig())
 			})
 			g.cell(name, v.name, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return pipeline.Run(v.mk(recs), cfg)
+				return pipeline.Run(v.mk(f), cfg)
 			})
 		}
 	}

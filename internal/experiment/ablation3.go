@@ -3,7 +3,6 @@ package experiment
 import (
 	"valuepred/internal/ideal"
 	"valuepred/internal/predictor"
-	"valuepred/internal/trace"
 )
 
 func init() {
@@ -25,16 +24,16 @@ type vpEval struct {
 // vpEvalCell builds the cell body shared by the ablation.lipasti and
 // ablation.twodelta schemes: run the ideal machine at width 16 under a
 // fresh predictor, then evaluate a second fresh predictor over the raw
-// trace.
-func vpEvalCell(recs []trace.Rec, mk func() predictor.Predictor) func() (any, error) {
+// trace. Both passes take their own fresh source from the feed.
+func vpEvalCell(f feed, mk func() predictor.Predictor) func() (any, error) {
 	return func() (any, error) {
 		cfg := ideal.DefaultConfig(16)
 		cfg.Predictor = mk()
-		res, err := ideal.Run(trace.NewSliceSource(recs), cfg)
+		res, err := ideal.Run(f.source(), cfg)
 		if err != nil {
 			return nil, err
 		}
-		return vpEval{res: res, acc: predictor.Evaluate(mk(), recs)}, nil
+		return vpEval{res: res, acc: predictor.EvaluateSource(mk(), f.source())}, nil
 	}
 }
 
@@ -44,7 +43,7 @@ func vpEvalCell(recs []trace.Rec, mk func() predictor.Predictor) func() (any, er
 // last two columns give each scheme's prediction coverage (correct
 // confident predictions per value-producing instruction).
 func AblationLipasti(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -56,18 +55,18 @@ func AblationLipasti(p Params) (*Table, error) {
 	schemes := []string{"loads-only", "all-inst"}
 	g := p.newGrid("ablation.lipasti")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+			return ideal.Run(f.source(), ideal.DefaultConfig(16))
 		})
 		mks := []func() predictor.Predictor{
 			func() predictor.Predictor {
-				return predictor.NewLoadsOnlyFromTrace(predictor.NewClassifiedStride(), recs)
+				return predictor.NewLoadsOnlyFromSource(predictor.NewClassifiedStride(), f.source())
 			},
 			func() predictor.Predictor { return predictor.NewClassifiedStride() },
 		}
 		for si, scheme := range schemes {
-			g.cell(name, "", scheme, vpEvalCell(recs, mks[si]))
+			g.cell(name, "", scheme, vpEvalCell(f, mks[si]))
 		}
 	}
 	res, err := g.run()
@@ -93,7 +92,7 @@ func AblationLipasti(p Params) (*Table, error) {
 // two-delta rule of the paper's technical reports on raw accuracy and on
 // ideal-machine speedup at width 16.
 func AblationTwoDelta(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -109,12 +108,12 @@ func AblationTwoDelta(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.twodelta")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return ideal.Run(trace.NewSliceSource(recs), ideal.DefaultConfig(16))
+			return ideal.Run(f.source(), ideal.DefaultConfig(16))
 		})
 		for si, scheme := range schemes {
-			g.cell(name, "", scheme, vpEvalCell(recs, mks[si]))
+			g.cell(name, "", scheme, vpEvalCell(f, mks[si]))
 		}
 	}
 	res, err := g.run()

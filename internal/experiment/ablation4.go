@@ -32,7 +32,7 @@ func vpTableLabel(size int) string {
 // (n=4, ideal BTB): the knee shows how much state the paper's assumption
 // hides.
 func AblationVPTable(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -46,9 +46,9 @@ func AblationVPTable(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.vptable")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
-			return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), pipeline.DefaultConfig())
+			return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), pipeline.DefaultConfig())
 		})
 		for _, size := range AblationVPTableSizes {
 			g.cell(name, vpTableLabel(size), "vp", func() (any, error) {
@@ -60,7 +60,7 @@ func AblationVPTable(p Params) (*Table, error) {
 				}
 				cfg := pipeline.DefaultConfig()
 				cfg.Predictor = &predictor.Classified{Inner: inner, Class: predictor.NewClassifier(2, 2)}
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), cfg)
 			})
 		}
 	}
@@ -86,7 +86,7 @@ func AblationVPTable(p Params) (*Table, error) {
 // store-to-load dependencies (n=4, ideal BTB). Without memory dependencies
 // the machine is optimistic (perfect memory renaming).
 func DiagMemDeps(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +98,7 @@ func DiagMemDeps(p Params) (*Table, error) {
 	cols := []string{"mem", "nomem"}
 	g := p.newGrid("diag.memdeps")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for mi, mem := range []bool{true, false} {
 			col := cols[mi]
 			for vi, variant := range []string{"base", "vp"} {
@@ -109,7 +109,7 @@ func DiagMemDeps(p Params) (*Table, error) {
 					if vp {
 						cfg.Predictor = predictor.NewClassifiedStride()
 					}
-					return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+					return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), cfg)
 				})
 			}
 		}
@@ -142,7 +142,7 @@ func init() {
 // rate rises because predictor/line disagreements deliver the matching
 // prefix instead of missing.
 func AblationPartial(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -154,13 +154,13 @@ func AblationPartial(p Params) (*Table, error) {
 	cols := []string{"off", "on"}
 	g := p.newGrid("ablation.partial")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for ci, partial := range []bool{false, true} {
 			col := cols[ci]
 			tcCfg := fetch.DefaultTCConfig()
 			tcCfg.PartialMatching = partial
 			mk := func() fetch.Engine {
-				return fetch.NewTraceCache(recs, twoLevelBTB(), tcCfg)
+				return fetch.NewTraceCacheSource(f.source(), twoLevelBTB(), tcCfg)
 			}
 			g.cell(name, col, "base", func() (any, error) {
 				return pipeline.Run(mk(), pipeline.DefaultConfig())
@@ -218,7 +218,7 @@ var AblationLatencyLoads = []int{1, 2, 4}
 // unpredictable dependence chains lengthen faster than prediction can
 // compensate), which is why the table reports both speedup and base IPC.
 func AblationLatency(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -234,19 +234,19 @@ func AblationLatency(p Params) (*Table, error) {
 	}
 	g := p.newGrid("ablation.latency")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, lat := range AblationLatencyLoads {
 			col := fmt.Sprintf("lat=%d", lat)
 			g.cell(name, col, "base", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.LoadLatency = lat
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), cfg)
 			})
 			g.cell(name, col, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.LoadLatency = lat
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return pipeline.Run(fetch.NewSequential(recs, perfectBTB(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), perfectBTB(), 4), cfg)
 			})
 		}
 	}

@@ -15,7 +15,7 @@ func init() {
 // ablation.lipasti comparison: loads are a minority of value producers, so
 // predicting only them forfeits most of the opportunity.
 func DiagClasses(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -29,9 +29,9 @@ func DiagClasses(p Params) (*Table, error) {
 	}
 	g := p.newGrid("diag.classes")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "eval", func() (any, error) {
-			return predictor.EvaluateByClass(predictor.NewStride(), recs), nil
+			return predictor.EvaluateByClassSource(predictor.NewStride(), f.source()), nil
 		})
 	}
 	res, err := g.run()

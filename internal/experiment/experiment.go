@@ -38,6 +38,18 @@ type Params struct {
 	// its own tracer track named like "fig5.1/gcc/n=4/vp". Observability is
 	// write-only: tables are bit-identical with Obs set or nil.
 	Obs *obs.Sink
+	// Stream selects the chunked streaming trace path (DESIGN.md §13):
+	// traces are cached as compressed chunk sequences and every simulated
+	// machine consumes a bounded window instead of a materialized flat
+	// slice, so a run's peak memory is governed by the chunk pool, not
+	// TraceLen. Tables are byte-identical to the materialized path (pinned
+	// by the root stream tests for every registered experiment at workers
+	// {1, 8}); the trade is CPU (each machine re-decodes its chunks) for
+	// memory, which is what paper-scale TraceLen values need.
+	Stream bool
+	// ChunkSize is the records-per-chunk of the streaming path; 0 means
+	// chunk.DefaultSize. Ignored unless Stream is set.
+	ChunkSize int
 
 	// ctx carries the run's cancellation signal. It is unexported so that a
 	// context can only enter through RunCtx/RunSeedsCtx, never get baked
@@ -265,6 +277,9 @@ func (p Params) preloadAsync(seed int64) {
 		for _, name := range names {
 			name := name
 			g.cell(name, "", "", func() (any, error) {
+				if ps.Stream {
+					return st.GetStream(name, seed, ps.TraceLen, ps.ChunkSize)
+				}
 				return st.Get(name, seed, ps.TraceLen)
 			})
 		}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"valuepred/internal/chunk"
+	"valuepred/internal/trace"
+)
+
+// feed is one workload's dynamic trace in whichever representation the run
+// selected: materialized (recs, the flat path) or streaming (seq, a shared
+// immutable compressed chunk sequence). Runners only ever ask a feed for
+// fresh Sources — each simulated machine consumes its own — so the two
+// representations are interchangeable and byte-identical (pinned by the
+// root stream tests at workers {1, 8}).
+type feed struct {
+	recs []trace.Rec // materialized mode; aliases the tracestore cache, read-only
+	seq  *chunk.Seq  // streaming mode; immutable, shared between cells
+	n    int         // records this feed serves (p.TraceLen)
+}
+
+// Len returns the number of records every source of this feed yields.
+func (f feed) Len() int { return f.n }
+
+// source returns a fresh Source over the whole feed. Each call is an
+// independent replay: cells running concurrently must each take their own.
+func (f feed) source() trace.Source {
+	return f.prefix(f.n)
+}
+
+// prefix returns a fresh Source over the first n records (clamped to the
+// feed's length). In streaming mode this is a pooled-chunk cursor; in
+// materialized mode a zero-copy SliceSource, which the fetch engines
+// unwrap back to the flat path.
+func (f feed) prefix(n int) trace.Source {
+	if n > f.n {
+		n = f.n
+	}
+	if n < 0 {
+		n = 0
+	}
+	if f.seq != nil {
+		return chunk.NewCursor(f.seq, n)
+	}
+	return trace.NewSliceSource(f.recs[:n])
+}
+
+// feeds fetches the dynamic trace of every selected workload in the mode
+// Params.Stream selects, with the same grid/cached-fast-path behaviour as
+// the flat traces() loader: resident traces are served serially (the grid
+// would be pure dispatch overhead), missing ones generate concurrently as
+// plan cells, and racing requests are deduplicated by the store.
+func (p Params) feeds() (map[string]feed, error) {
+	if !p.Stream {
+		traces, err := p.traces()
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]feed, len(traces))
+		for name, recs := range traces {
+			out[name] = feed{recs: recs, n: len(recs)}
+		}
+		return out, nil
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
+	names := p.workloads()
+	st := p.store()
+	if st.CachedStream(names, p.Seed, p.TraceLen) {
+		out := make(map[string]feed, len(names))
+		for _, name := range names {
+			q, err := st.GetStream(name, p.Seed, p.TraceLen, p.ChunkSize)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = feed{seq: q, n: p.TraceLen}
+		}
+		return out, nil
+	}
+	g := p.newGrid("traces")
+	for _, name := range names {
+		name := name
+		g.cell(name, "", "", func() (any, error) {
+			return st.GetStream(name, p.Seed, p.TraceLen, p.ChunkSize)
+		})
+	}
+	res, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]feed, len(names))
+	for _, name := range names {
+		out[name] = feed{seq: res.seq(name), n: p.TraceLen}
+	}
+	return out, nil
+}

@@ -32,7 +32,7 @@ var Fig31Widths = []int{4, 8, 16, 32, 40}
 // benchmarks — is declared as one plan grid; speedups are computed at the
 // keyed merge.
 func Fig31(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -46,19 +46,19 @@ func Fig31(p Params) (*Table, error) {
 	}
 	g := p.newGrid("fig3.1")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, w := range Fig31Widths {
 			wl := fmt.Sprintf("BW=%d", w)
 			g.cell(name, wl, "base", func() (any, error) {
 				cfg := ideal.DefaultConfig(w)
 				cfg.Obs = p.track("fig3.1", name, wl, "base")
-				return ideal.Run(trace.NewSliceSource(recs), cfg)
+				return ideal.Run(f.source(), cfg)
 			})
 			g.cell(name, wl, "vp", func() (any, error) {
 				cfg := ideal.DefaultConfig(w)
 				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
 				cfg.Obs = p.track("fig3.1", name, wl, "vp")
-				return ideal.Run(trace.NewSliceSource(recs), cfg)
+				return ideal.Run(f.source(), cfg)
 			})
 		}
 	}
@@ -84,15 +84,15 @@ func Fig31(p Params) (*Table, error) {
 // pool and returns the analyses keyed by workload (the common skeleton of
 // Figures 3.3–3.5).
 func dfgGrid(p Params, id string) (*gridResults, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
 	g := p.newGrid(id)
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "dfg", func() (any, error) {
-			return dfg.Analyze(recs, dfg.Config{}), nil
+			return dfg.AnalyzeSource(f.source(), dfg.Config{}), nil
 		})
 	}
 	return g.run()

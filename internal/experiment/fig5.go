@@ -42,7 +42,7 @@ func twoLevelBTB() btb.Predictor { return btb.NewTwoLevel(btb.DefaultTwoLevelCon
 // Fig5Taken sweep, then across workloads — so the float64 addition order
 // (addition is not associative) never depends on cell scheduling.
 func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -52,19 +52,19 @@ func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, 
 	}
 	g := p.newGrid(id)
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, n := range Fig5Taken {
 			wl := takenLabel(n)
 			g.cell(name, wl, "base", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Obs = p.track(id, name, wl, "base")
-				return pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), mkBTB(), n), cfg)
 			})
 			g.cell(name, wl, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
 				cfg.Obs = p.track(id, name, wl, "vp")
-				return pipeline.Run(fetch.NewSequential(recs, mkBTB(), n), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), mkBTB(), n), cfg)
 			})
 		}
 	}
@@ -110,7 +110,7 @@ func Fig52(p Params) (*Table, error) {
 // Fig53 reproduces Figure 5.3: the trace-cache machine, with the banked
 // prediction network delivering values, under both branch predictors.
 func Fig53(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -126,19 +126,19 @@ func Fig53(p Params) (*Table, error) {
 	makers := []branchMaker{twoLevelBTB, perfectBTB}
 	g := p.newGrid("fig5.3")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for bi, mk := range makers {
 			btbLabel := btbLabels[bi]
 			g.cell(name, btbLabel, "base", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Obs = p.track("fig5.3", name, btbLabel, "base")
-				return pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
+				return pipeline.Run(fetch.NewTraceCacheSource(f.source(), mk(), fetch.DefaultTCConfig()), cfg)
 			})
 			g.cell(name, btbLabel, "vp", func() (any, error) {
 				cfg := pipeline.DefaultConfig()
 				cfg.Network = core.MustNew(core.DefaultConfig())
 				cfg.Obs = p.track("fig5.3", name, btbLabel, "vp")
-				return pipeline.Run(fetch.NewTraceCache(recs, mk(), fetch.DefaultTCConfig()), cfg)
+				return pipeline.Run(fetch.NewTraceCacheSource(f.source(), mk(), fetch.DefaultTCConfig()), cfg)
 			})
 		}
 	}
@@ -169,7 +169,7 @@ func Fig53(p Params) (*Table, error) {
 // motivates: how often trace-cache fetch groups contain duplicate PCs, how
 // many requests the router merges or denies, and the cost of denials.
 func Sec4(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -186,18 +186,18 @@ func Sec4(p Params) (*Table, error) {
 	}
 	g := p.newGrid("sec4")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		g.cell(name, "", "base", func() (any, error) {
 			cfg := pipeline.DefaultConfig()
 			cfg.Obs = p.track("sec4", name, "base")
-			return pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			return pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), cfg)
 		})
 		g.cell(name, "", "vp", func() (any, error) {
 			net := core.MustNew(core.DefaultConfig())
 			cfg := pipeline.DefaultConfig()
 			cfg.Network = net
 			cfg.Obs = p.track("sec4", name, "vp")
-			res, err := pipeline.Run(fetch.NewTraceCache(recs, perfectBTB(), fetch.DefaultTCConfig()), cfg)
+			res, err := pipeline.Run(fetch.NewTraceCacheSource(f.source(), perfectBTB(), fetch.DefaultTCConfig()), cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -209,13 +209,13 @@ func Sec4(p Params) (*Table, error) {
 		return nil, err
 	}
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		base := res.get(name, "", "base").(pipeline.Result)
 		vp := res.get(name, "", "vp").(vpOut)
 		s := vp.stats
 		req := float64(s.Requests)
 		t.AddRow(name,
-			1000*req/float64(len(recs)),
+			1000*req/float64(f.Len()),
 			100*float64(s.MergedServed+s.MergedDenied)/req,
 			100*float64(s.Denied+s.MergedDenied)/req,
 			100*float64(s.HintDropped)/req,

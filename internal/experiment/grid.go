@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 
+	"valuepred/internal/chunk"
 	"valuepred/internal/plan"
 	"valuepred/internal/trace"
 )
@@ -74,4 +75,9 @@ func (r *gridResults) get(workload, column, variant string) any {
 // recs is the common []trace.Rec lookup for trace grids.
 func (r *gridResults) recs(workload string) []trace.Rec {
 	return r.get(workload, "", "").([]trace.Rec)
+}
+
+// seq is the chunk-sequence lookup for streaming trace grids.
+func (r *gridResults) seq(workload string) *chunk.Seq {
+	return r.get(workload, "", "").(*chunk.Seq)
 }

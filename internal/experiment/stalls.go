@@ -18,7 +18,7 @@ func init() {
 // narrative that value prediction drains the window faster, converting
 // dependence stalls into fetch demand.
 func DiagStalls(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +34,7 @@ func DiagStalls(p Params) (*Table, error) {
 	}
 	g := p.newGrid("diag.stalls")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, variant := range []string{"base", "vp"} {
 			g.cell(name, "", variant, func() (any, error) {
 				cfg := pipeline.DefaultConfig()
@@ -42,7 +42,7 @@ func DiagStalls(p Params) (*Table, error) {
 					cfg.Predictor = p.instrument(predictor.NewClassifiedStride())
 				}
 				cfg.Obs = p.track("diag.stalls", name, variant)
-				return pipeline.Run(fetch.NewSequential(recs, twoLevelBTB(), 4), cfg)
+				return pipeline.Run(fetch.NewSequentialSource(f.source(), twoLevelBTB(), 4), cfg)
 			})
 		}
 	}

@@ -5,7 +5,6 @@ import (
 
 	"valuepred/internal/ideal"
 	"valuepred/internal/predictor"
-	"valuepred/internal/trace"
 )
 
 func init() {
@@ -24,7 +23,7 @@ var DiagUselessWidths = []int{4, 8, 16, 40}
 // predictions are wasted; widening the front end converts them into used
 // predictions (Section 3's argument, quantified).
 func DiagUseless(p Params) (*Table, error) {
-	traces, err := p.traces()
+	feeds, err := p.feeds()
 	if err != nil {
 		return nil, err
 	}
@@ -38,12 +37,12 @@ func DiagUseless(p Params) (*Table, error) {
 	}
 	g := p.newGrid("diag.useless")
 	for _, name := range p.workloads() {
-		recs := traces[name]
+		f := feeds[name]
 		for _, w := range DiagUselessWidths {
 			g.cell(name, fmt.Sprintf("BW=%d", w), "vp", func() (any, error) {
 				cfg := ideal.DefaultConfig(w)
 				cfg.Predictor = predictor.NewClassifiedStride()
-				return ideal.Run(trace.NewSliceSource(recs), cfg)
+				return ideal.Run(f.source(), cfg)
 			})
 		}
 	}

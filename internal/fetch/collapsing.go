@@ -35,13 +35,26 @@ type CollapsingBuffer struct {
 
 // NewCollapsingBuffer returns a collapsing-buffer engine over recs.
 func NewCollapsingBuffer(recs []trace.Rec, bp btb.Predictor, cfg CBConfig) *CollapsingBuffer {
+	return newCollapsingBuffer(stream{recs: recs}, bp, cfg)
+}
+
+// NewCollapsingBufferSource is NewCollapsingBuffer over a streaming record
+// source: memory stays O(window) at any trace length, and delivered
+// Group.Recs views are valid only until the next NextGroup call (see
+// Group). A *trace.SliceSource is detected and unwrapped to the zero-copy
+// flat path.
+func NewCollapsingBufferSource(src trace.Source, bp btb.Predictor, cfg CBConfig) *CollapsingBuffer {
+	return newCollapsingBuffer(newStream(src), bp, cfg)
+}
+
+func newCollapsingBuffer(s stream, bp btb.Predictor, cfg CBConfig) *CollapsingBuffer {
 	if cfg.LineInsts <= 0 || cfg.LineInsts&(cfg.LineInsts-1) != 0 {
 		panic("fetch: collapsing-buffer line size must be a positive power of two")
 	}
 	if cfg.Lines <= 0 {
 		panic("fetch: collapsing buffer needs at least one line per cycle")
 	}
-	return &CollapsingBuffer{s: stream{recs: recs}, c: ctrl{bp: bp}, cfg: cfg}
+	return &CollapsingBuffer{s: s, c: ctrl{bp: bp}, cfg: cfg}
 }
 
 // Stats implements Engine.
@@ -65,7 +78,7 @@ func (e *CollapsingBuffer) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Cycles++
 	var g Group
-	start := e.s.pos
+	start := e.s.mark()
 	linesUsed := 0
 	var end uint64
 	newLine := true

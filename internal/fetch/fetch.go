@@ -12,6 +12,7 @@ package fetch
 
 import (
 	"valuepred/internal/btb"
+	"valuepred/internal/chunk"
 	"valuepred/internal/isa"
 	"valuepred/internal/obs"
 	"valuepred/internal/trace"
@@ -20,12 +21,18 @@ import (
 // Group is the set of instructions delivered in one fetch cycle.
 type Group struct {
 	// Recs are correct-path instructions, in program order. The slice is a
-	// read-only view aliasing the engine's underlying trace (DESIGN.md §12,
-	// "Memory discipline"): engines deliver contiguous windows of the
-	// shared immutable record stream instead of copying, so a group costs
-	// no allocation. Callers must not modify the elements; the view itself
-	// stays valid for as long as the trace does. The marker below makes
-	// aliaslint enforce that discipline mechanically.
+	// read-only view aliasing the engine's underlying trace (DESIGN.md §12
+	// "Memory discipline" and §13 "Streaming traces"): engines deliver
+	// contiguous windows of the record stream instead of copying, so a
+	// group costs no allocation. Callers must not modify the elements. The
+	// view's lifetime depends on how the engine was built: over a flat
+	// trace (NewSequential etc.) it stays valid for as long as the trace
+	// does; over a streaming Source (NewSequentialSource etc.) it is valid
+	// only until the next NextGroup call, which may reuse the window
+	// buffer behind it. pipeline.Run copies each record it keeps in the
+	// same cycle, so it satisfies the stricter contract already. The
+	// marker below makes aliaslint enforce the read-only discipline
+	// mechanically.
 	//lint:view
 	Recs []trace.Rec
 	// Mispredict reports that the last instruction of Recs is a control
@@ -83,27 +90,71 @@ func (s Stats) TCHitRate() float64 {
 	return float64(s.TCHits) / float64(s.TCLookups)
 }
 
-// stream is a cursor over the committed trace.
+// stream is a cursor over the committed trace. It runs in one of two
+// modes: flat (recs holds the whole trace, views are zero-copy subslices
+// of it) or streaming (win buffers a bounded window of a trace.Source,
+// views alias the window and live only until its next mark). Engines are
+// written against this one API and are bit-identical across the modes.
 type stream struct {
-	recs []trace.Rec
-	pos  int
+	recs []trace.Rec   // flat mode: the trace; nil in streaming mode
+	win  *chunk.Window // streaming mode: the bounded window; nil in flat mode
+	pos  int           // logical records consumed (maintained in both modes)
+}
+
+// newStream picks the mode for src: a SliceSource recovers the zero-copy
+// flat path (materialized traces lose nothing by arriving as a Source);
+// anything else is wrapped in a bounded window.
+func newStream(src trace.Source) stream {
+	if ss, ok := src.(*trace.SliceSource); ok {
+		return stream{recs: ss.Recs()}
+	}
+	return stream{win: chunk.NewWindow(src)}
 }
 
 func (s *stream) peek(k int) (trace.Rec, bool) {
+	if s.win != nil {
+		return s.win.Peek(k)
+	}
 	if s.pos+k >= len(s.recs) {
 		return trace.Rec{}, false
 	}
 	return s.recs[s.pos+k], true
 }
 
-func (s *stream) advance(n int) { s.pos += n }
+func (s *stream) advance(n int) {
+	if s.win != nil {
+		s.win.Advance(n)
+	}
+	s.pos += n
+}
 
-// view returns the records consumed since start as a read-only,
-// capacity-capped window of the underlying trace (no copy; callers cannot
-// append into the trace through it).
-func (s *stream) view(start int) []trace.Rec { return s.recs[start:s.pos:s.pos] }
+// mark pins the current position as the start of the next view and
+// returns it. In streaming mode this also releases everything before the
+// position for buffer reuse — which is what limits a previously returned
+// view's lifetime to the next mark.
+func (s *stream) mark() int {
+	if s.win != nil {
+		s.win.Mark()
+	}
+	return s.pos
+}
 
-func (s *stream) eof() bool { return s.pos >= len(s.recs) }
+// view returns the records consumed since start — which must be the value
+// of the most recent mark — as a read-only, capacity-capped window (no
+// copy; callers cannot append into the backing storage through it).
+func (s *stream) view(start int) []trace.Rec {
+	if s.win != nil {
+		return s.win.View()
+	}
+	return s.recs[start:s.pos:s.pos]
+}
+
+func (s *stream) eof() bool {
+	if s.win != nil {
+		return s.win.EOF()
+	}
+	return s.pos >= len(s.recs)
+}
 
 // rasSize bounds the return-address stack depth (a standard companion of a
 // BTB; recursion deeper than this falls back to BTB target prediction).
@@ -193,6 +244,15 @@ func NewSequential(recs []trace.Rec, bp btb.Predictor, maxTaken int) *Sequential
 	return &Sequential{s: stream{recs: recs}, c: ctrl{bp: bp}, maxTaken: maxTaken}
 }
 
+// NewSequentialSource is NewSequential over a streaming record source:
+// the engine holds a bounded window of the trace instead of all of it, so
+// memory stays O(window) at any trace length. Delivered Group.Recs views
+// are valid only until the next NextGroup call (see Group). A
+// *trace.SliceSource is detected and unwrapped to the zero-copy flat path.
+func NewSequentialSource(src trace.Source, bp btb.Predictor, maxTaken int) *Sequential {
+	return &Sequential{s: newStream(src), c: ctrl{bp: bp}, maxTaken: maxTaken}
+}
+
 // Stats implements Engine.
 func (e *Sequential) Stats() Stats { return e.stats }
 
@@ -203,7 +263,7 @@ func (e *Sequential) NextGroup(maxInsts int) (Group, bool) {
 	}
 	e.stats.Cycles++
 	var g Group
-	start := e.s.pos
+	start := e.s.mark()
 	taken := 0
 	for e.s.pos-start < maxInsts {
 		rec, ok := e.s.peek(0)

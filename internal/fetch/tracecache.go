@@ -77,6 +77,20 @@ type TraceCache struct {
 
 // NewTraceCache returns a trace-cache engine over recs.
 func NewTraceCache(recs []trace.Rec, bp btb.Predictor, cfg TCConfig) *TraceCache {
+	return newTraceCache(stream{recs: recs}, bp, cfg)
+}
+
+// NewTraceCacheSource is NewTraceCache over a streaming record source: the
+// engine buffers a bounded window (the line-selection phase peeks up to
+// MaxLineInsts records ahead), so memory stays O(window + lines) at any
+// trace length. Delivered Group.Recs views are valid only until the next
+// NextGroup call (see Group). A *trace.SliceSource is detected and
+// unwrapped to the zero-copy flat path.
+func NewTraceCacheSource(src trace.Source, bp btb.Predictor, cfg TCConfig) *TraceCache {
+	return newTraceCache(newStream(src), bp, cfg)
+}
+
+func newTraceCache(s stream, bp btb.Predictor, cfg TCConfig) *TraceCache {
 	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
 		panic("fetch: trace cache entries must be a positive power of two")
 	}
@@ -84,7 +98,7 @@ func NewTraceCache(recs []trace.Rec, bp btb.Predictor, cfg TCConfig) *TraceCache
 		panic("fetch: invalid trace cache configuration")
 	}
 	return &TraceCache{
-		s:     stream{recs: recs},
+		s:     s,
 		c:     ctrl{bp: bp},
 		cfg:   cfg,
 		lines: make([]tcLine, cfg.Entries),
@@ -183,7 +197,7 @@ func (e *TraceCache) tryLine(line *tcLine, maxInsts int) (Group, bool, bool) {
 			}
 		}
 	}
-	start := e.s.pos
+	start := e.s.mark()
 	e.s.advance(cut)
 	g.Recs = e.s.view(start)
 	return g, true, partial
@@ -198,7 +212,7 @@ func (e *TraceCache) coreFetch(maxInsts int) Group {
 		limit = maxInsts
 	}
 	var g Group
-	start := e.s.pos
+	start := e.s.mark()
 	taken := 0
 	for e.s.pos-start < limit {
 		rec, ok := e.s.peek(0)

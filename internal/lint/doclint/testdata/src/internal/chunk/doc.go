@@ -1,0 +1,9 @@
+// Package chunk mirrors the real streaming-chunk package's documentation
+// shape: the package doc opens with the godoc convention and states the
+// memory-ownership contract its types live by, so the fixture pins the
+// exact comment style DESIGN.md §13 mandates for the streaming pipeline.
+package chunk
+
+// Chunk is a pooled, reusable record buffer. Ownership transfers to the
+// consumer until it is released back to the pool.
+type Chunk struct{}

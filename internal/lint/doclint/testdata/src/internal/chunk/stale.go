@@ -1,0 +1,6 @@
+// The streaming window over a chunk cursor. // want `package doc comment should start "Package chunk"`
+package chunk
+
+// Window exists so the second doc-carrying file is not empty: a stray
+// doc comment on a non-doc.go file must still open with the convention.
+type Window struct{}

@@ -41,13 +41,14 @@ var sets = map[string]map[string]bool{
 		"emu": true, "fetch": true, "pipeline": true, "predictor": true,
 		"experiment": true, "stats": true, "trace": true, "workload": true,
 		"ideal": true, "dfg": true, "btb": true, "core": true, "obs": true,
-		"tracestore": true, "plan": true,
+		"tracestore": true, "plan": true, "chunk": true,
 	},
 	Errors: {
 		"stats": true, "tracestore": true, "experiment": true, "plan": true,
 	},
 	Alias: {
 		"fetch": true, "core": true, "ideal": true, "pipeline": true,
+		"chunk": true,
 	},
 	Ctx: {
 		"serve": true, "plan": true, "experiment": true,

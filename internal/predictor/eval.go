@@ -51,8 +51,19 @@ func (a Accuracy) String() string {
 // Evaluate runs p over every value-producing record of recs using the
 // lookup-then-update protocol and returns accuracy statistics.
 func Evaluate(p Predictor, recs []trace.Rec) Accuracy {
+	return EvaluateSource(p, trace.NewSliceSource(recs))
+}
+
+// EvaluateSource is Evaluate over a streaming record source: records are
+// consumed one at a time and never retained, so the trace need not be
+// materialized.
+func EvaluateSource(p Predictor, src trace.Source) Accuracy {
 	var a Accuracy
-	for _, r := range recs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		if !r.WritesValue() {
 			continue
 		}
@@ -87,8 +98,17 @@ type ClassAccuracy struct {
 // EvaluateByClass runs p over recs like Evaluate but accumulates accuracy
 // separately per instruction class.
 func EvaluateByClass(p Predictor, recs []trace.Rec) ClassAccuracy {
+	return EvaluateByClassSource(p, trace.NewSliceSource(recs))
+}
+
+// EvaluateByClassSource is EvaluateByClass over a streaming record source.
+func EvaluateByClassSource(p Predictor, src trace.Source) ClassAccuracy {
 	var ca ClassAccuracy
-	for _, r := range recs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		if !r.WritesValue() {
 			continue
 		}

@@ -143,13 +143,24 @@ func (p *ProfileHints) Kind(pc uint64) (Hint, bool) {
 // minAccuracy is the fraction (0..1) below which an instruction is marked
 // HintNone.
 func Profile(recs []trace.Rec, minAccuracy float64) *ProfileHints {
+	return ProfileSource(trace.NewSliceSource(recs), minAccuracy)
+}
+
+// ProfileSource is Profile over a streaming record source: profiling state
+// is per static PC, so the dynamic trace is consumed record-at-a-time and
+// never materialized.
+func ProfileSource(src trace.Source, minAccuracy float64) *ProfileHints {
 	type counts struct {
 		total, lastOK, strideOK uint64
 	}
 	lv := NewLastValue()
 	st := NewStride()
 	per := make(map[uint64]*counts)
-	for _, r := range recs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		if !r.WritesValue() {
 			continue
 		}

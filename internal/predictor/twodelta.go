@@ -122,8 +122,18 @@ var (
 
 // NewLoadsOnlyFromTrace wraps inner with every load PC of recs registered.
 func NewLoadsOnlyFromTrace(inner Predictor, recs []trace.Rec) *LoadsOnly {
+	return NewLoadsOnlyFromSource(inner, trace.NewSliceSource(recs))
+}
+
+// NewLoadsOnlyFromSource is NewLoadsOnlyFromTrace over a streaming record
+// source; only the static load PCs are retained.
+func NewLoadsOnlyFromSource(inner Predictor, src trace.Source) *LoadsOnly {
 	p := NewLoadsOnly(inner)
-	for _, r := range recs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		if r.Op.IsLoad() {
 			p.MarkLoad(r.PC)
 		}

@@ -88,9 +88,30 @@ func (tw *Writer) Flush() error { return tw.w.Flush() }
 // Count returns the number of records written so far.
 func (tw *Writer) Count() uint64 { return tw.n }
 
+// Reset redirects the Writer at w and restores the initial encoder state
+// (magic not yet emitted, PC delta base zero, record count zero), so one
+// Writer — and its internal buffers — can encode many independent streams.
+// internal/chunk uses this to encode each chunk as a self-contained trace
+// without allocating a fresh Writer per chunk.
+func (tw *Writer) Reset(w io.Writer) {
+	tw.w.Reset(w)
+	tw.started = false
+	tw.lastPC = 0
+	tw.n = 0
+}
+
+// ByteSource is the input a Reader decodes from: varint decoding needs
+// byte-at-a-time reads, and the magic check needs bulk reads. *bufio.Reader
+// and *bytes.Reader both qualify, which lets callers decoding from memory
+// (internal/chunk) avoid interposing a buffered reader per block.
+type ByteSource interface {
+	io.Reader
+	io.ByteReader
+}
+
 // Reader decodes the binary trace format and implements Source.
 type Reader struct {
-	r      *bufio.Reader
+	r      ByteSource
 	seq    uint64
 	lastPC uint64
 	header bool
@@ -100,6 +121,25 @@ type Reader struct {
 // NewReader returns a Reader over the binary trace format in r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// NewReaderAt is NewReader for a stream that is a suffix of a larger
+// logical trace: decoded records are numbered from firstSeq instead of 0.
+// internal/chunk stores each chunk as an independent stream and restores
+// global Seq numbering with this.
+func NewReaderAt(r ByteSource, firstSeq uint64) *Reader {
+	return &Reader{r: r, seq: firstSeq}
+}
+
+// Reset repoints the Reader at a fresh stream, numbering its records from
+// firstSeq, without allocating. The stream must carry its own magic header
+// (every chunk written via Writer.Reset does).
+func (tr *Reader) Reset(r ByteSource, firstSeq uint64) {
+	tr.r = r
+	tr.seq = firstSeq
+	tr.lastPC = 0
+	tr.header = false
+	tr.err = nil
 }
 
 // Err returns the first decoding error other than a clean end of trace.

@@ -92,6 +92,14 @@ func (s *SliceSource) Reset() { s.pos = 0 }
 // Len returns the total number of records in the trace.
 func (s *SliceSource) Len() int { return len(s.recs) }
 
+// Recs returns the remaining (not yet consumed) records as a read-only
+// view of the source's backing slice. The view aliases memory owned by
+// whoever built the SliceSource — typically the tracestore's shared
+// immutable cache — so callers must not mutate, append to or retain it
+// beyond the source's lifetime. internal/fetch uses this to recover the
+// zero-copy flat path when a Source is known to be slice-backed.
+func (s *SliceSource) Recs() []Rec { return s.recs[s.pos:len(s.recs):len(s.recs)] }
+
 // Collect drains a Source into a slice, stopping after max records
 // (max <= 0 means no limit). The output is sized up front — to max, or to
 // the source's known length when it exposes one (e.g. SliceSource) —
@@ -135,32 +143,74 @@ type Summary struct {
 
 // Summarize scans recs and returns aggregate statistics.
 func Summarize(recs []Rec) Summary {
-	var s Summary
-	pcs := make(map[uint64]struct{})
+	z := NewSummarizer()
 	for _, r := range recs {
-		s.Insts++
-		pcs[r.PC] = struct{}{}
-		if r.WritesValue() {
-			s.ValueWriters++
-		}
-		switch {
-		case r.Op.IsLoad():
-			s.Loads++
-		case r.Op.IsStore():
-			s.Stores++
-		case r.Op.IsBranch():
-			s.CondBranches++
-			if r.Taken {
-				s.TakenCond++
-			}
-		case r.Op.IsJump():
-			s.Jumps++
-		}
-		if r.Op.IsControl() && r.Taken {
-			s.TakenControls++
-		}
+		z.Add(r)
 	}
-	s.StaticPCs = len(pcs)
+	return z.Summary()
+}
+
+// SummarizeSource drains src and returns aggregate statistics. Unlike
+// Summarize it never materializes the trace: memory stays proportional to
+// the number of distinct static PCs, so cmd/vptrace can inspect
+// 100M-record traces.
+func SummarizeSource(src Source) Summary {
+	z := NewSummarizer()
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return z.Summary()
+		}
+		z.Add(r)
+	}
+}
+
+// Summarizer accumulates Summary statistics one record at a time. It owns
+// all of its state (a set of static PCs); records passed to Add are copied
+// by value and never retained.
+type Summarizer struct {
+	s   Summary
+	pcs map[uint64]struct{}
+}
+
+// NewSummarizer returns an empty Summarizer.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{pcs: make(map[uint64]struct{})}
+}
+
+// Add folds one record into the running summary. The zero Summarizer is
+// ready to use.
+func (z *Summarizer) Add(r Rec) {
+	if z.pcs == nil {
+		z.pcs = make(map[uint64]struct{})
+	}
+	z.s.Insts++
+	z.pcs[r.PC] = struct{}{}
+	if r.WritesValue() {
+		z.s.ValueWriters++
+	}
+	switch {
+	case r.Op.IsLoad():
+		z.s.Loads++
+	case r.Op.IsStore():
+		z.s.Stores++
+	case r.Op.IsBranch():
+		z.s.CondBranches++
+		if r.Taken {
+			z.s.TakenCond++
+		}
+	case r.Op.IsJump():
+		z.s.Jumps++
+	}
+	if r.Op.IsControl() && r.Taken {
+		z.s.TakenControls++
+	}
+}
+
+// Summary returns the statistics accumulated so far.
+func (z *Summarizer) Summary() Summary {
+	s := z.s
+	s.StaticPCs = len(z.pcs)
 	return s
 }
 

@@ -17,8 +17,18 @@
 //     result;
 //   - hit/miss/evict/dedup counters are exposed through Stats.
 //
+// The store caches traces in two representations sharing one LRU and one
+// memory bound. Get serves the materialized form (a flat []trace.Rec,
+// sub-sliced per request); GetStream serves the streaming form (an
+// immutable chunk.Seq of compressed chunks, DESIGN.md §13) whose memory
+// charge is its compressed size, so paper-scale traces that would blow the
+// flat bound stay cacheable. Prefix subsumption applies to both: a Seq
+// covering n records serves every request for fewer via a bounded Cursor,
+// at chunk granularity and with zero copying.
+//
 // Traces returned by the store are shared between callers and MUST be
-// treated as read-only; the simulation engines only ever read them.
+// treated as read-only; the simulation engines only ever read them, and
+// chunk.Seq is immutable by construction.
 package tracestore
 
 import (
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 
+	"valuepred/internal/chunk"
 	"valuepred/internal/obs"
 	"valuepred/internal/trace"
 	"valuepred/internal/workload"
@@ -49,10 +60,28 @@ type Stats struct {
 	Dedups uint64
 	// Evictions counts entries discarded to respect the record bound.
 	Evictions uint64
-	// Records and Entries describe current occupancy.
+	// Records and Entries describe current occupancy. Records is the
+	// charged total in record units: flat entries charge their length,
+	// stream entries charge their compressed bytes divided by the nominal
+	// record size (see recBytes). Entries counts flat entries only.
 	Records int
 	Entries int
+	// StreamEntries counts cached chunk sequences; StreamRecords is the
+	// number of logical trace records they cover; CompressedBytes is their
+	// total compressed size (what they actually charge, in bytes).
+	StreamEntries   int
+	StreamRecords   int
+	CompressedBytes int
 }
+
+// recBytes is the nominal in-memory size of one decoded trace.Rec, used to
+// express a stream entry's compressed size in the record units of the
+// store's bound (DefaultLimit's "~0.5 GB at 64 bytes per record").
+const recBytes = 64
+
+// seqCost is the charged size of a chunk sequence, in record units,
+// rounded up so no entry is free.
+func seqCost(q *chunk.Seq) int { return (q.Bytes() + recBytes - 1) / recBytes }
 
 // key identifies a cached trace. Length is not part of the key: the entry
 // for (workload, seed) always holds the longest trace generated so far, and
@@ -62,9 +91,24 @@ type key struct {
 	seed     int64
 }
 
+// lruKey is the LRU list's element value: the entry key plus which of the
+// two entry maps (flat or stream) it lives in, so one recency order and
+// one memory bound govern both representations.
+type lruKey struct {
+	k      key
+	stream bool
+}
+
 type entry struct {
 	recs []trace.Rec
-	elem *list.Element // position in the LRU list; value is the key
+	elem *list.Element // position in the LRU list; value is an lruKey
+}
+
+// sentry is a cached streaming trace: an immutable compressed chunk
+// sequence shared by every caller that needs any prefix of it.
+type sentry struct {
+	seq  *chunk.Seq
+	elem *list.Element // position in the LRU list; value is an lruKey
 }
 
 // flight is one in-progress generation that concurrent callers can join.
@@ -75,43 +119,77 @@ type flight struct {
 	err  error
 }
 
+// sflight is flight's streaming counterpart.
+type sflight struct {
+	done chan struct{}
+	n    int
+	seq  *chunk.Seq
+	err  error
+}
+
 // storeMetrics are optional obs handles mirroring the Stats counters.
 // Every obs method is a no-op through a nil handle, so an uninstrumented
 // store pays only the nil-receiver checks.
 type storeMetrics struct {
-	hits       *obs.Counter
-	prefixHits *obs.Counter
-	misses     *obs.Counter
-	dedups     *obs.Counter
-	evictions  *obs.Counter
-	records    *obs.Gauge
-	entries    *obs.Gauge
+	hits          *obs.Counter
+	prefixHits    *obs.Counter
+	misses        *obs.Counter
+	dedups        *obs.Counter
+	evictions     *obs.Counter
+	records       *obs.Gauge
+	entries       *obs.Gauge
+	streamEntries *obs.Gauge
+	streamBytes   *obs.Gauge
 }
 
 // Store is a size-bounded, concurrency-safe trace cache.
 type Store struct {
-	mu       sync.Mutex
-	limit    int // max total records; <= 0 means unbounded
-	entries  map[key]*entry
-	lru      *list.List // front = most recently used
-	total    int
-	inflight map[key]*flight
-	stats    Stats
-	obs      storeMetrics
-	events   *obs.EventLog
-	gen      func(name string, seed int64, n int) ([]trace.Rec, error)
+	mu        sync.Mutex
+	limit     int // max total charged records; <= 0 means unbounded
+	entries   map[key]*entry
+	sentries  map[key]*sentry
+	lru       *list.List // front = most recently used; both entry kinds
+	total     int
+	inflight  map[key]*flight
+	sinflight map[key]*sflight
+	stats     Stats
+	obs       storeMetrics
+	events    *obs.EventLog
+	gen       func(name string, seed int64, n int) ([]trace.Rec, error)
+	genSeq    func(name string, seed int64, n, chunkSize int) (*chunk.Seq, error)
 }
 
 // New returns a store bounded to at most limit cached records across all
 // entries (limit <= 0 means unbounded).
 func New(limit int) *Store {
 	return &Store{
-		limit:    limit,
-		entries:  make(map[key]*entry),
-		lru:      list.New(),
-		inflight: make(map[key]*flight),
-		gen:      workload.Trace,
+		limit:     limit,
+		entries:   make(map[key]*entry),
+		sentries:  make(map[key]*sentry),
+		lru:       list.New(),
+		inflight:  make(map[key]*flight),
+		sinflight: make(map[key]*sflight),
+		gen:       workload.Trace,
+		genSeq:    streamTrace,
 	}
+}
+
+// streamTrace is the default streaming generator: it runs the emulator
+// record-at-a-time through chunk.Build, so the flat trace never exists —
+// peak memory during generation is one chunk plus one compressed block.
+func streamTrace(name string, seed int64, n, chunkSize int) (*chunk.Seq, error) {
+	src, err := workload.Open(name, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	q, err := chunk.Build(src, n, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return q, nil
 }
 
 var shared = New(DefaultLimit)
@@ -131,16 +209,30 @@ func (s *Store) Instrument(reg *obs.Registry) {
 		return
 	}
 	s.obs = storeMetrics{
-		hits:       reg.Counter("tracestore.hits"),
-		prefixHits: reg.Counter("tracestore.prefix_hits"),
-		misses:     reg.Counter("tracestore.misses"),
-		dedups:     reg.Counter("tracestore.dedups"),
-		evictions:  reg.Counter("tracestore.evictions"),
-		records:    reg.Gauge("tracestore.records"),
-		entries:    reg.Gauge("tracestore.entries"),
+		hits:          reg.Counter("tracestore.hits"),
+		prefixHits:    reg.Counter("tracestore.prefix_hits"),
+		misses:        reg.Counter("tracestore.misses"),
+		dedups:        reg.Counter("tracestore.dedups"),
+		evictions:     reg.Counter("tracestore.evictions"),
+		records:       reg.Gauge("tracestore.records"),
+		entries:       reg.Gauge("tracestore.entries"),
+		streamEntries: reg.Gauge("tracestore.stream_entries"),
+		streamBytes:   reg.Gauge("tracestore.stream_bytes"),
 	}
 	s.obs.records.Set(int64(s.total))
 	s.obs.entries.Set(int64(len(s.entries)))
+	s.obs.streamEntries.Set(int64(len(s.sentries)))
+	s.obs.streamBytes.Set(int64(s.streamBytes()))
+}
+
+// streamBytes sums the compressed size of the cached sequences. Called
+// with s.mu held; sentries is small (one per workload/seed pair).
+func (s *Store) streamBytes() int {
+	n := 0
+	for _, e := range s.sentries {
+		n += e.seq.Bytes()
+	}
+	return n
 }
 
 // InstrumentEvents attaches a structured event log: every cache miss that
@@ -227,6 +319,80 @@ func (s *Store) Get(name string, seed int64, n int) ([]trace.Rec, error) {
 	}
 }
 
+// GetStream returns an immutable compressed chunk sequence covering at
+// least the first n records of the named workload's trace for seed,
+// generating it at most once per process (singleflight, shared with
+// concurrent and future callers). Serve a specific prefix by wrapping the
+// result in chunk.NewCursor(seq, n): the sequence may cover more records
+// than requested (prefix subsumption at chunk granularity). chunkSize is
+// the records-per-chunk for a fresh generation (<= 0 means
+// chunk.DefaultSize); an already-cached sequence is served whatever size
+// it was built with.
+func (s *Store) GetStream(name string, seed int64, n, chunkSize int) (*chunk.Seq, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tracestore: trace length must be positive, have %d", n)
+	}
+	if _, ok := workload.Get(name); !ok {
+		return nil, fmt.Errorf("tracestore: unknown workload %q", name)
+	}
+	k := key{workload: name, seed: seed}
+	for {
+		s.mu.Lock()
+		if e, ok := s.sentries[k]; ok && e.seq.Len() >= n {
+			s.lru.MoveToFront(e.elem)
+			s.stats.Hits++
+			s.obs.hits.Inc()
+			if e.seq.Len() > n {
+				s.stats.PrefixHits++
+				s.obs.prefixHits.Inc()
+			}
+			q := e.seq
+			s.mu.Unlock()
+			return q, nil
+		}
+		if f, ok := s.sinflight[k]; ok {
+			if f.n >= n {
+				s.stats.Dedups++
+				s.obs.dedups.Inc()
+				s.mu.Unlock()
+				<-f.done
+				if f.err != nil {
+					return nil, f.err
+				}
+				return f.seq, nil
+			}
+			// A shorter generation is in flight; wait and re-evaluate.
+			s.mu.Unlock()
+			<-f.done
+			continue
+		}
+		f := &sflight{done: make(chan struct{}), n: n}
+		s.sinflight[k] = f
+		s.stats.Misses++
+		s.obs.misses.Inc()
+		ev := s.events
+		s.mu.Unlock()
+
+		genDone := ev.Start(nil, "tracestore", "generate_stream",
+			obs.F("workload", name), obs.F("seed", seed), obs.F("n", n))
+		q, err := s.genSeq(name, seed, n, chunkSize)
+		genDone(err == nil)
+		f.seq, f.err = q, err
+
+		s.mu.Lock()
+		delete(s.sinflight, k)
+		if err == nil {
+			s.insertSeq(k, q)
+		}
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+}
+
 // Cached reports whether every named workload's trace for (seed, n) is
 // already resident. The probe is deliberately inert: it does not touch
 // LRU order and counts neither hits nor misses, so callers can use it to
@@ -244,15 +410,27 @@ func (s *Store) Cached(names []string, seed int64, n int) bool {
 	return true
 }
 
+// CachedStream is Cached for the streaming representation: it reports
+// whether every named workload has a resident chunk sequence covering n
+// records. Equally inert.
+func (s *Store) CachedStream(names []string, seed int64, n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		e, ok := s.sentries[key{workload: name, seed: seed}]
+		if !ok || e.seq.Len() < n {
+			return false
+		}
+	}
+	return true
+}
+
 // insert stores recs under k (replacing any shorter entry) and evicts
 // least-recently-used entries until the record bound holds. Called with
 // s.mu held. A trace larger than the whole bound is returned to the caller
 // but not cached.
 func (s *Store) insert(k key, recs []trace.Rec) {
-	defer func() {
-		s.obs.records.Set(int64(s.total))
-		s.obs.entries.Set(int64(len(s.entries)))
-	}()
+	defer s.syncGauges()
 	if old, ok := s.entries[k]; ok {
 		if len(old.recs) >= len(recs) {
 			return // a concurrent caller already cached an equal/longer trace
@@ -264,20 +442,63 @@ func (s *Store) insert(k key, recs []trace.Rec) {
 	if s.limit > 0 && len(recs) > s.limit {
 		return
 	}
-	for s.limit > 0 && s.total+len(recs) > s.limit {
+	s.evictFor(len(recs))
+	s.entries[k] = &entry{recs: recs, elem: s.lru.PushFront(lruKey{k: k})}
+	s.total += len(recs)
+}
+
+// insertSeq is insert for the streaming representation: q replaces any
+// shorter cached sequence for k and charges its compressed size (in record
+// units) against the same bound the flat entries share. Called with s.mu
+// held.
+func (s *Store) insertSeq(k key, q *chunk.Seq) {
+	defer s.syncGauges()
+	cost := seqCost(q)
+	if old, ok := s.sentries[k]; ok {
+		if old.seq.Len() >= q.Len() {
+			return
+		}
+		s.total -= seqCost(old.seq)
+		s.lru.Remove(old.elem)
+		delete(s.sentries, k)
+	}
+	if s.limit > 0 && cost > s.limit {
+		return
+	}
+	s.evictFor(cost)
+	s.sentries[k] = &sentry{seq: q, elem: s.lru.PushFront(lruKey{k: k, stream: true})}
+	s.total += cost
+}
+
+// evictFor drops least-recently-used entries of either kind until an
+// insertion of the given charged size fits the bound. Called with s.mu
+// held.
+func (s *Store) evictFor(need int) {
+	for s.limit > 0 && s.total+need > s.limit {
 		back := s.lru.Back()
 		if back == nil {
 			break
 		}
-		bk := back.Value.(key)
-		s.total -= len(s.entries[bk].recs)
-		delete(s.entries, bk)
+		lk := back.Value.(lruKey)
+		if lk.stream {
+			s.total -= seqCost(s.sentries[lk.k].seq)
+			delete(s.sentries, lk.k)
+		} else {
+			s.total -= len(s.entries[lk.k].recs)
+			delete(s.entries, lk.k)
+		}
 		s.lru.Remove(back)
 		s.stats.Evictions++
 		s.obs.evictions.Inc()
 	}
-	s.entries[k] = &entry{recs: recs, elem: s.lru.PushFront(k)}
-	s.total += len(recs)
+}
+
+// syncGauges mirrors occupancy into obs. Called with s.mu held.
+func (s *Store) syncGauges() {
+	s.obs.records.Set(int64(s.total))
+	s.obs.entries.Set(int64(len(s.entries)))
+	s.obs.streamEntries.Set(int64(len(s.sentries)))
+	s.obs.streamBytes.Set(int64(s.streamBytes()))
 }
 
 // Preload warms the store with the traces of every named workload at the
@@ -303,6 +524,27 @@ func (s *Store) Preload(names []string, seed int64, n int) error {
 	return nil
 }
 
+// PreloadStream is Preload for the streaming representation: it warms the
+// store with a chunk sequence per named workload, generating concurrently.
+func (s *Store) PreloadStream(names []string, seed int64, n, chunkSize int) error {
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.GetStream(name, seed, n, chunkSize)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the store's counters and occupancy.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -310,6 +552,11 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Records = s.total
 	st.Entries = len(s.entries)
+	st.StreamEntries = len(s.sentries)
+	for _, e := range s.sentries {
+		st.StreamRecords += e.seq.Len()
+		st.CompressedBytes += e.seq.Bytes()
+	}
 	return st
 }
 
@@ -319,9 +566,9 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.entries = make(map[key]*entry)
+	s.sentries = make(map[key]*sentry)
 	s.lru.Init()
 	s.total = 0
 	s.stats = Stats{}
-	s.obs.records.Set(0)
-	s.obs.entries.Set(0)
+	s.syncGauges()
 }

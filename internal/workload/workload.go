@@ -100,6 +100,64 @@ func Trace(name string, seed int64, limit int) ([]trace.Rec, error) {
 	return recs, err
 }
 
+// Stream is the record-at-a-time form of Run: a trace.Source that steps
+// the emulator lazily, so the streaming trace path (internal/chunk) never
+// holds more than the record in flight. It owns its emulator outright;
+// records returned by Next are copies the caller may retain.
+//
+// Error semantics mirror Run exactly: after Next returns false, Err
+// reports a machine fault or an early halt (workloads must run forever —
+// halting before the requested limit is a bug in the workload) with the
+// same messages Run wraps around them.
+type Stream struct {
+	name   string
+	m      *emu.Machine
+	limit  int
+	served int
+	err    error
+}
+
+// Open builds the named benchmark with the given seed and returns a Stream
+// over its first limit instructions (limit <= 0 streams forever — callers
+// must impose their own bound, since workloads never halt).
+func Open(name string, seed int64, limit int) (*Stream, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	prog, err := s.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: building %s: %w", name, err)
+	}
+	return &Stream{name: name, m: emu.New(prog), limit: limit}, nil
+}
+
+// Next implements trace.Source.
+func (s *Stream) Next() (trace.Rec, bool) {
+	if s.err != nil || (s.limit > 0 && s.served >= s.limit) {
+		return trace.Rec{}, false
+	}
+	r, ok := s.m.Step()
+	if !ok {
+		if err := s.m.Err(); err != nil {
+			s.err = fmt.Errorf("workload: running %s: %w", s.name, err)
+		} else if s.limit > 0 && s.m.Halted() {
+			s.err = fmt.Errorf("workload: %s halted after %d instructions; workloads must run forever", s.name, s.served)
+		}
+		return trace.Rec{}, false
+	}
+	s.served++
+	return r, true
+}
+
+// Err returns the fault or early-halt error, if any. Valid after Next
+// returns false; a nil Err means the stream ended cleanly at its limit.
+func (s *Stream) Err() error { return s.err }
+
+// Len returns the stream's limit (0 when unbounded), so trace.Collect can
+// size its output up front.
+func (s *Stream) Len() int { return s.limit }
+
 // MustTrace is Trace that panics on error; for benchmarks and examples
 // whose workloads are validated by the test suite.
 func MustTrace(name string, seed int64, limit int) []trace.Rec {

@@ -1,0 +1,99 @@
+package valuepred
+
+import (
+	"strings"
+	"testing"
+
+	"valuepred/internal/chunk"
+	"valuepred/internal/fetch"
+	"valuepred/internal/pipeline"
+	"valuepred/internal/trace"
+	"valuepred/internal/tracestore"
+)
+
+// TestStreamedTablesMatchMaterialized is the byte-identity contract of the
+// streaming trace pipeline (DESIGN.md §13): for EVERY registered
+// experiment, the table rendered from compressed chunk streams must equal
+// the table rendered from materialized flat traces, byte for byte, at
+// worker widths 1 and 8. The sweep covers all three fetch engines, the
+// ideal machine, the dataflow analyses, profiling over a trace prefix and
+// the predictor evaluations — every consumer the streaming seam rewired.
+func TestStreamedTablesMatchMaterialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment four times")
+	}
+	p := DefaultParams()
+	p.TraceLen = 3_000
+	p.Workloads = []string{"compress95", "li"}
+	p.Store = tracestore.New(0)
+
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+
+	render := func(stream bool, workers int) map[string]string {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		pp := p
+		pp.Stream = stream
+		out := make(map[string]string, len(ids))
+		for _, id := range ids {
+			tab, err := RunExperiment(id, pp)
+			if err != nil {
+				t.Fatalf("stream=%v workers=%d: %s: %v", stream, workers, id, err)
+			}
+			var sb strings.Builder
+			if err := tab.Render(&sb); err != nil {
+				t.Fatalf("%s: render: %v", id, err)
+			}
+			out[id] = sb.String()
+		}
+		return out
+	}
+
+	want := render(false, 1)
+	for _, workers := range []int{1, 8} {
+		got := render(true, workers)
+		for _, id := range ids {
+			if got[id] != want[id] {
+				t.Errorf("%s: streamed table (workers=%d) differs from materialized:\n%s",
+					id, workers, firstDiff(want[id], got[id]))
+			}
+		}
+	}
+}
+
+// TestStreamAllocBudget pins the streaming path's memory discipline in the
+// pool_test.go style: once a trace is resident as a compressed chunk
+// sequence, a full streamed machine run must cost a small fixed number of
+// allocations — the pooled decode chunk, the window buffer and the
+// machine's own pooled scratch — NOT O(trace length). Before the chunk
+// pool the same run would materialize the whole trace (64 bytes per
+// record); any per-record or per-chunk allocation that sneaks back into
+// Cursor.fill or Window.fillOne blows the budget immediately.
+func TestStreamAllocBudget(t *testing.T) {
+	recs, err := Trace("compress95", 1, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := chunk.Build(trace.NewSliceSource(recs), len(recs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() {
+		src := chunk.NewCursor(seq, seq.Len())
+		eng := fetch.NewSequentialSource(src, NewPerfectBTB(), 4)
+		if _, err := pipeline.Run(eng, pipeline.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the chunk pool and the machine scratch pools
+	const budget = 100
+	if got := testing.AllocsPerRun(5, run); got > budget {
+		t.Errorf("streamed 200k-instruction machine run: %.0f allocs/run, budget %d "+
+			"(the budget is trace-length independent; a per-chunk or per-record "+
+			"allocation regressed the streaming hot path)", got, budget)
+	}
+}

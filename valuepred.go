@@ -84,6 +84,19 @@ func PreloadTraces(names []string, seed int64, n int) error {
 	return tracestore.Shared().Preload(names, seed, n)
 }
 
+// PreloadStreamTraces warms the shared store's streaming side (DESIGN.md
+// §13): each named workload (nil = all eight benchmarks) is generated once
+// and cached as a compressed chunk sequence instead of a flat slice, so a
+// subsequent streamed run (Params.Stream) at that seed and up to that
+// length is a cache hit whose resident cost is the compressed bytes, not
+// 64 bytes per record. chunkSize is records per chunk (0 = the default).
+func PreloadStreamTraces(names []string, seed int64, n, chunkSize int) error {
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	return tracestore.Shared().PreloadStream(names, seed, n, chunkSize)
+}
+
 // TraceStoreStats is a snapshot of the shared trace store's counters.
 type TraceStoreStats = tracestore.Stats
 
