@@ -5,36 +5,56 @@
 // Usage:
 //
 //	vpserve [-addr 127.0.0.1:8080] [-max-concurrent 4] [-workers 0]
-//	        [-timeout 2m] [-cache 64] [-max-tracelen 2000000]
-//	        [-max-seeds 16] [-drain-timeout 30s] [-events log.jsonl] [-pprof]
+//	        [-timeout 2m] [-cache 64] [-cache-dir DIR] [-disk-cache-entries 512]
+//	        [-job-retention 256] [-job-queue 64] [-shard n/m]
+//	        [-max-tracelen 2000000] [-max-seeds 16] [-drain-timeout 30s]
+//	        [-events log.jsonl] [-pprof]
 //
-// Endpoints (see DESIGN.md §11 and the README "Serving" walkthrough):
+// Endpoints (see DESIGN.md §11/§14 and the README "Serving" walkthrough):
 //
-//	GET /healthz                 liveness (503 while draining)
-//	GET /v1/experiments          JSON list of experiment ids
-//	GET /v1/experiments/{id}     run/serve one experiment
-//	    ?seed=1&tracelen=200000&seeds=1&workloads=go,gcc&format=text
-//	GET /v1/metrics              metrics snapshot (text, or ?format=json)
-//	GET /v1/progress             live cell-grid progress + in-flight runs
-//	GET /metrics                 Prometheus text exposition (for scrapers)
-//	GET /debug/pprof/            net/http/pprof (only with -pprof)
+//	GET  /healthz                 liveness (503 while draining)
+//	GET  /v1/experiments          JSON list of experiment ids
+//	GET  /v1/experiments/{id}     run/serve one experiment
+//	     ?seed=1&tracelen=200000&seeds=1&workloads=go,gcc&format=text
+//	POST /v1/jobs?experiment=id&… submit the same run asynchronously
+//	GET  /v1/jobs                 list tracked jobs
+//	GET  /v1/jobs/{job}           poll one job (live progress while running)
+//	GET  /v1/jobs/{job}/result    fetch the settled result (?format=…)
+//	POST /v1/merge                merge shard artifacts into full tables
+//	GET  /v1/metrics              metrics snapshot (text, or ?format=json)
+//	GET  /v1/progress             live cell-grid progress + running jobs
+//	GET  /metrics                 Prometheus text exposition (for scrapers)
+//	GET  /debug/pprof/            net/http/pprof (only with -pprof)
 //
 // -events appends the structured JSON event log (request, simulation and
 // cell lifecycle, each line stamped with its request's span id) to a file;
 // "-" writes it to stderr. Invalid flag values (negative timeouts,
-// -workers -1, ...) exit 2 with the usage text.
+// -workers -1, an unwritable -cache-dir, a malformed -shard, ...) exit 2
+// with the usage text.
 //
-// Identical concurrent requests coalesce onto one simulation, completed
-// tables are cached in a bounded LRU, saturation is shed with 429 +
-// Retry-After, and slow runs end in 504 at -timeout. Two knobs bound the
-// service's parallelism independently: -max-concurrent admits requests,
-// while -workers sets the width of the process-global simulation pool
-// every admitted experiment's cells share (default GOMAXPROCS), so total
-// CPU use is never requests × workloads. On SIGTERM or SIGINT
-// the server drains: the health check starts failing, new simulations are
-// refused, in-flight requests complete (up to -drain-timeout), then the
-// process exits; a second deadline overrun aborts the remaining
-// simulations through their contexts.
+// Every distinct run is one job keyed by its canonical parameters:
+// identical concurrent requests coalesce onto it, and a job submitted via
+// POST /v1/jobs keeps running if its client disconnects — the result
+// stays fetchable by id until -job-retention evicts it. Completed tables
+// are cached in a bounded LRU and, with -cache-dir, in a persistent
+// on-disk store that survives restarts and can be shared between replicas
+// pointing at the same directory. Synchronous saturation is shed with 429
+// + Retry-After (async submissions queue up to -job-queue deep), and slow
+// runs end in 504 at -timeout.
+//
+// -shard n/m pins this replica to the n-th of m deterministic partitions
+// of the workload axis: normal formats render the partial table, while
+// format=shard returns the artifact that vpsim -merge or POST /v1/merge
+// recombines byte-identically to the unsharded run (DESIGN.md §14).
+//
+// Two knobs bound the service's parallelism independently:
+// -max-concurrent admits jobs, while -workers sets the width of the
+// process-global simulation pool every admitted experiment's cells share
+// (default GOMAXPROCS), so total CPU use is never requests × workloads.
+// On SIGTERM or SIGINT the server drains: the health check starts
+// failing, new simulations are refused, in-flight requests complete (up
+// to -drain-timeout), then the process exits; a second deadline overrun
+// aborts the remaining simulations through their contexts.
 package main
 
 import (
@@ -89,6 +109,11 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		maxConcurrent = fs.Int("max-concurrent", serve.DefaultMaxConcurrent, "max simultaneous simulations; beyond it requests get 429 + Retry-After")
 		timeout       = fs.Duration("timeout", serve.DefaultTimeout, "per-simulation timeout; an expired run returns 504")
 		cacheEntries  = fs.Int("cache", serve.DefaultCacheEntries, "completed-table LRU capacity (entries)")
+		cacheDir      = fs.String("cache-dir", "", "persistent table cache directory (empty = disabled); survives restarts, shareable between replicas")
+		diskEntries   = fs.Int("disk-cache-entries", serve.DefaultDiskCacheEntries, "on-disk cache capacity (entries), evicted oldest-first")
+		jobRetention  = fs.Int("job-retention", 0, "settled jobs kept for result fetches (0 = the library default)")
+		jobQueue      = fs.Int("job-queue", 0, "async jobs waiting for a slot before POST /v1/jobs sheds with 429 (0 = the library default)")
+		shardSpec     = fs.String("shard", "", "serve shard n/m of the workload axis (empty = unsharded); format=shard returns the mergeable artifact")
 		maxTraceLen   = fs.Int("max-tracelen", serve.DefaultMaxTraceLen, "largest per-request tracelen accepted")
 		maxSeeds      = fs.Int("max-seeds", serve.DefaultMaxSeeds, "largest per-request seeds accepted")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
@@ -114,6 +139,23 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 	if *workers < 0 {
 		return usagef(fs, "-workers must be >= 0 (0 = GOMAXPROCS), have %d", *workers)
 	}
+	if *diskEntries < 0 {
+		return usagef(fs, "-disk-cache-entries must be >= 0 (0 = the %d default), have %d", serve.DefaultDiskCacheEntries, *diskEntries)
+	}
+	if *jobRetention < 0 {
+		return usagef(fs, "-job-retention must be >= 0 (0 = the library default), have %d", *jobRetention)
+	}
+	if *jobQueue < 0 {
+		return usagef(fs, "-job-queue must be >= 0 (0 = the library default), have %d", *jobQueue)
+	}
+	var shard valuepred.Shard
+	if *shardSpec != "" {
+		var err error
+		shard, err = valuepred.ParseShard(*shardSpec)
+		if err != nil {
+			return usagef(fs, "-shard: %v", err)
+		}
+	}
 	prevWorkers := valuepred.SetWorkers(*workers)
 	defer valuepred.SetWorkers(prevWorkers)
 
@@ -129,15 +171,25 @@ func run(args []string, stdout, stderr io.Writer, signals <-chan os.Signal, onRe
 		events = valuepred.NewEventLog(f)
 	}
 
-	srv := serve.New(serve.Config{
-		MaxConcurrent: *maxConcurrent,
-		Timeout:       *timeout,
-		CacheEntries:  *cacheEntries,
-		MaxTraceLen:   *maxTraceLen,
-		MaxSeeds:      *maxSeeds,
-		EventLog:      events,
-		EnablePprof:   *pprofOn,
+	srv, err := serve.New(serve.Config{
+		MaxConcurrent:    *maxConcurrent,
+		Timeout:          *timeout,
+		CacheEntries:     *cacheEntries,
+		MaxTraceLen:      *maxTraceLen,
+		MaxSeeds:         *maxSeeds,
+		CacheDir:         *cacheDir,
+		DiskCacheEntries: *diskEntries,
+		JobRetention:     *jobRetention,
+		JobQueue:         *jobQueue,
+		Shard:            shard,
+		EventLog:         events,
+		EnablePprof:      *pprofOn,
 	})
+	if err != nil {
+		// Construction fails only on bad configuration (an unwritable
+		// -cache-dir, a malformed -shard): a usage error, exit 2.
+		return usagef(fs, "%v", err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

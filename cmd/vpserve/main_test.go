@@ -1,9 +1,11 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -116,6 +118,36 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nonesuch"}, io.Discard, &errBuf, nil, nil); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestJobAndShardFlagValidation pins the exit-2 paths of the serving
+// refactor's flags: each bad value is a usage error (errUsage → exit 2),
+// not a runtime failure.
+func TestJobAndShardFlagValidation(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-shard", "banana"},
+		{"-shard", "0/2"},
+		{"-shard", "3/2"},
+		{"-job-retention", "-1"},
+		{"-job-queue", "-5"},
+		{"-disk-cache-entries", "-1"},
+		{"-cache-dir", filepath.Join(blocker, "sub")},
+	}
+	for _, args := range cases {
+		var errBuf syncBuffer
+		err := run(args, io.Discard, &errBuf, nil, nil)
+		if err == nil {
+			t.Errorf("run(%v) accepted", args)
+			continue
+		}
+		if !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want a usage error (exit 2)", args, err)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@
 //	      [-workers 8] [-csv|-md|-chart] [-o out.txt]
 //	vpsim -all [-preload] [-cachestats]
 //	vpsim -experiment fig5.1 -metrics -trace-out run.json -manifest run-manifest.json
+//	vpsim -experiment fig5.1 -shard 1/2 -o part1.json
+//	vpsim -merge part1.json part2.json [-csv|-md|-chart]
 //
 // Experiments execute as grids of independent simulation cells on a
 // process-global bounded worker pool; -workers sets the pool's width
@@ -38,8 +40,15 @@
 // the simulation: the rendered tables are bit-identical with
 // observability on or off.
 //
-// Invalid flag values (e.g. -trace-sample 0, -workers -1) exit 2 with the
-// usage text; simulation failures exit 1.
+// -shard n/m runs only the n-th of m deterministic partitions of the
+// workload axis and writes a JSON shard artifact instead of a table;
+// -merge recombines a complete artifact set (all m files, any order) and
+// renders the tables byte-identically to the unsharded run, in any of the
+// usual output formats (DESIGN.md §14).
+//
+// Invalid flag values (e.g. -trace-sample 0, -workers -1, a malformed
+// -shard, -merge without files) exit 2 with the usage text; simulation
+// failures exit 1.
 package main
 
 import (
@@ -106,6 +115,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		eventsOut   = fs.String("events", "", "write a structured JSON event log (one event per line) to this file")
 		stream      = fs.Bool("stream", false, "stream traces through the chunked pipeline (bounded memory; tables byte-identical)")
 		chunkSize   = fs.Int("chunk", 0, "records per streaming chunk (0 = default; only with -stream)")
+		shardSpec   = fs.String("shard", "", "run shard n/m of the workload axis and write a mergeable JSON artifact")
+		merge       = fs.Bool("merge", false, "merge the shard artifacts named as arguments and render the full tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -128,6 +139,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *chunkSize > 0 && !*stream {
 		return usagef(fs, "-chunk only applies with -stream")
 	}
+	var shard valuepred.Shard
+	if *shardSpec != "" {
+		var err error
+		shard, err = valuepred.ParseShard(*shardSpec)
+		if err != nil {
+			return usagef(fs, "-shard: %v", err)
+		}
+	}
+	if *merge && shard.Enabled() {
+		return usagef(fs, "-merge and -shard are mutually exclusive (merge consumes what sharded runs produce)")
+	}
+	if *merge && (*id != "" || *all) {
+		return usagef(fs, "-merge reads shard files, not experiments; drop -experiment/-all")
+	}
+	if *merge && fs.NArg() == 0 {
+		return usagef(fs, "-merge needs the shard files as arguments (all m files of an m-way run)")
+	}
+	if !*merge && fs.NArg() > 0 {
+		return usagef(fs, "unexpected arguments %v", fs.Args())
+	}
+	if shard.Enabled() && (*csv || *md || *chart) {
+		return usagef(fs, "-shard writes a JSON artifact; render formats apply to -merge instead")
+	}
 	prevWorkers := valuepred.SetWorkers(*workers)
 	defer valuepred.SetWorkers(prevWorkers)
 
@@ -136,6 +170,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%-18s %s\n", e.ID, e.Description)
 		}
 		return nil
+	}
+	if *merge {
+		return runMerge(fs.Args(), stdout, *outPath, *csv, *md, *chart)
 	}
 	if !*all && *id == "" {
 		return usagef(fs, "need -experiment <id>, -all or -list")
@@ -240,36 +277,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	for i, one := range ids {
-		var t *valuepred.Table
-		var err error
+	switch {
+	case shard.Enabled():
+		// A sharded run writes the artifact, not tables: one file carries
+		// this shard's partition of every selected experiment and seed.
+		var list []int64
 		if *seeds > 1 {
-			list := make([]int64, *seeds)
+			list = make([]int64, *seeds)
 			for j := range list {
 				list[j] = *seed + int64(j)
 			}
-			t, err = valuepred.RunExperimentSeeds(one, p, list)
-		} else {
-			t, err = valuepred.RunExperiment(one, p)
 		}
+		sf, err := valuepred.RunExperimentShards(nil, ids, p, list, shard)
 		if err != nil {
 			return err
 		}
-		if i > 0 {
-			fmt.Fprintln(out)
-		}
-		switch {
-		case *csv:
-			err = t.RenderCSV(out)
-		case *md:
-			err = t.RenderMarkdown(out)
-		case *chart:
-			err = t.RenderChart(out)
-		default:
-			err = t.Render(out)
-		}
-		if err != nil {
+		if err := sf.WriteJSON(out); err != nil {
 			return err
+		}
+	default:
+		for i, one := range ids {
+			var t *valuepred.Table
+			var err error
+			if *seeds > 1 {
+				list := make([]int64, *seeds)
+				for j := range list {
+					list[j] = *seed + int64(j)
+				}
+				t, err = valuepred.RunExperimentSeeds(one, p, list)
+			} else {
+				t, err = valuepred.RunExperiment(one, p)
+			}
+			if err != nil {
+				return err
+			}
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			if err := renderTable(out, t, *csv, *md, *chart); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -308,6 +355,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *metrics {
 		if err := reg.Snapshot().WriteText(stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderTable writes one table in the selected output format (the same
+// flag set the unsharded and merged paths share).
+func renderTable(out io.Writer, t *valuepred.Table, csv, md, chart bool) error {
+	switch {
+	case csv:
+		return t.RenderCSV(out)
+	case md:
+		return t.RenderMarkdown(out)
+	case chart:
+		return t.RenderChart(out)
+	}
+	return t.Render(out)
+}
+
+// runMerge decodes the named shard artifacts, recombines them and renders
+// one table per experiment — byte-identical to the unsharded run, with the
+// same blank-line separator -all uses between tables.
+func runMerge(names []string, stdout io.Writer, outPath string, csv, md, chart bool) error {
+	files := make([]*valuepred.ShardFile, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		sf, err := valuepred.DecodeShardFile(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		files = append(files, sf)
+	}
+	merged, err := valuepred.MergeShardFiles(files)
+	if err != nil {
+		return err
+	}
+	out := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	for i, m := range merged {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := renderTable(out, m.Table, csv, md, chart); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -211,6 +212,82 @@ func TestObservabilityDoesNotSteer(t *testing.T) {
 		"-manifest", filepath.Join(dir, "m.json"), "-cachestats")
 	if plain != observed {
 		t.Errorf("observability changed the table:\n%s\n----\n%s", plain, observed)
+	}
+}
+
+// TestShardMergeByteIdentical is the CLI half of the DESIGN.md §14
+// contract: -shard 1/2 and -shard 2/2 artifacts merged by -merge render
+// byte-identically to the unsharded run.
+func TestShardMergeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-experiment", "table3.1", "-len", "4000", "-workloads", "go,li,perl"}
+	var full, errb strings.Builder
+	if err := run(base, &full, &errb); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "p1.json")
+	p2 := filepath.Join(dir, "p2.json")
+	var out strings.Builder
+	if err := run(append(base, "-shard", "1/2", "-o", p1), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-shard", "2/2", "-o", p2), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+
+	// The artifact is JSON carrying its partition identity.
+	raw, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Shard struct{ Index, Of int } `json:"shard"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("shard artifact is not valid JSON: %v", err)
+	}
+	if art.Shard.Index != 1 || art.Shard.Of != 2 {
+		t.Errorf("artifact shard = %+v, want 1/2", art.Shard)
+	}
+
+	var merged strings.Builder
+	if err := run([]string{"-merge", p2, p1}, &merged, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != full.String() {
+		t.Errorf("merged render differs from the unsharded run:\nmerged:\n%s\nunsharded:\n%s",
+			merged.String(), full.String())
+	}
+}
+
+// TestShardAndMergeFlagErrors pins the new flags' usage errors (exit 2)
+// and distinguishes them from runtime failures (exit 1).
+func TestShardAndMergeFlagErrors(t *testing.T) {
+	usage := [][]string{
+		{"-shard", "banana", "-experiment", "table3.1"},
+		{"-shard", "0/2", "-experiment", "table3.1"},
+		{"-merge"},
+		{"-merge", "-shard", "1/2", "x.json"},
+		{"-merge", "-experiment", "table3.1", "x.json"},
+		{"-experiment", "table3.1", "stray-argument"},
+		{"-shard", "1/2", "-experiment", "table3.1", "-csv"},
+	}
+	for _, args := range usage {
+		var out, errb strings.Builder
+		err := run(args, &out, &errb)
+		if err == nil {
+			t.Errorf("run(%v) accepted", args)
+			continue
+		}
+		if !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want a usage error (exit 2)", args, err)
+		}
+	}
+	// A missing shard file is a runtime failure, not a usage error.
+	var out, errb strings.Builder
+	err := run([]string{"-merge", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb)
+	if err == nil || errors.Is(err, errUsage) {
+		t.Errorf("missing shard file: err = %v, want a non-usage error (exit 1)", err)
 	}
 }
 

@@ -55,6 +55,12 @@ type Params struct {
 	// context can only enter through RunCtx/RunSeedsCtx, never get baked
 	// into a stored Params value by accident; nil means "never canceled".
 	ctx context.Context
+
+	// aggs, when non-nil, receives the raw collectors behind the run-wide
+	// aggregate notes (see notes.go) so a shard run can export them for the
+	// merge. It is unexported and set only by RunShardFileCtx: ordinary
+	// runs render their notes and keep nothing.
+	aggs *[]NoteAgg
 }
 
 // DefaultParams returns the parameters used by the benchmark harness.

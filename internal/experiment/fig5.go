@@ -72,7 +72,8 @@ func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, 
 	if err != nil {
 		return nil, err
 	}
-	var accSum float64
+	agg := p.noteAgg("branch_accuracy",
+		"mean branch prediction accuracy across runs: %.1f%%", 100, len(Fig5Taken))
 	for _, name := range p.workloads() {
 		var cells []float64
 		var acc float64
@@ -84,11 +85,10 @@ func sequentialSpeedups(p Params, id, title string, mkBTB branchMaker) (*Table, 
 			acc += vp.Fetch.BranchAccuracy()
 		}
 		t.AddRow(name, cells...)
-		accSum += acc
+		agg.contrib(name, acc)
 	}
 	t.AppendAverage()
-	accN := float64(len(p.workloads()) * len(Fig5Taken))
-	t.AddNote("mean branch prediction accuracy across runs: %.1f%%", 100*accSum/accN)
+	agg.render(t)
 	return t, nil
 }
 
@@ -146,7 +146,8 @@ func Fig53(p Params) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	var hitSum float64
+	agg := p.noteAgg("tc_hit_rate",
+		"mean trace-cache hit rate across runs: %.1f%%", 100, len(btbLabels))
 	for _, name := range p.workloads() {
 		var cells []float64
 		var hits float64
@@ -157,11 +158,10 @@ func Fig53(p Params) (*Table, error) {
 			hits += vp.Fetch.TCHitRate()
 		}
 		t.AddRow(name, cells...)
-		hitSum += hits
+		agg.contrib(name, hits)
 	}
 	t.AppendAverage()
-	hitN := float64(2 * len(p.workloads()))
-	t.AddNote("mean trace-cache hit rate across runs: %.1f%%", 100*hitSum/hitN)
+	agg.render(t)
 	return t, nil
 }
 

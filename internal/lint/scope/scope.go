@@ -45,13 +45,14 @@ var sets = map[string]map[string]bool{
 	},
 	Errors: {
 		"stats": true, "tracestore": true, "experiment": true, "plan": true,
+		"jobs": true,
 	},
 	Alias: {
 		"fetch": true, "core": true, "ideal": true, "pipeline": true,
 		"chunk": true,
 	},
 	Ctx: {
-		"serve": true, "plan": true, "experiment": true,
+		"serve": true, "plan": true, "experiment": true, "jobs": true,
 	},
 }
 

@@ -1,0 +1,96 @@
+package plan
+
+// This file is the partitioning side of the plan layer: a Shard names one
+// replica's slice of the canonical cell space. The canonical Key already
+// orders every cell by (Experiment, Workload, Column, Variant, Seed); a
+// Shard partitions that space on its Workload coordinate — the table-row
+// axis — because every registered experiment's rows are workloads in
+// presentation order and a row's cells depend only on that workload's
+// simulations. Round-robin over the presentation-ordered workload list
+// keeps the partition deterministic and independent of scheduling, so a
+// fleet of replicas running disjoint shards can be recombined
+// byte-identically by the canonical-order merge (internal/experiment's
+// MergeShardFiles).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard identifies one partition of a sharded run: partition Index of Of
+// total, 1-based. The zero value means "unsharded" (Enabled reports
+// false); a valid non-zero Shard has 1 <= Index <= Of.
+type Shard struct {
+	Index int `json:"index"`
+	Of    int `json:"of"`
+}
+
+// ParseShard parses the "n/m" flag syntax ("1/2", "3/8") into a Shard.
+// Malformed strings, n < 1, m < 1 and n > m are rejected with an error
+// suitable for a usage message.
+func ParseShard(s string) (Shard, error) {
+	idx, of, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("plan: shard %q is not of the form n/m", s)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil {
+		return Shard{}, fmt.Errorf("plan: shard index %q is not an integer", idx)
+	}
+	m, err := strconv.Atoi(strings.TrimSpace(of))
+	if err != nil {
+		return Shard{}, fmt.Errorf("plan: shard count %q is not an integer", of)
+	}
+	sh := Shard{Index: n, Of: m}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate checks the 1 <= Index <= Of invariant.
+func (s Shard) Validate() error {
+	if s.Of < 1 {
+		return fmt.Errorf("plan: shard count must be >= 1, have %d", s.Of)
+	}
+	if s.Index < 1 || s.Index > s.Of {
+		return fmt.Errorf("plan: shard index must be in [1, %d], have %d", s.Of, s.Index)
+	}
+	return nil
+}
+
+// Enabled reports whether the shard actually partitions anything: the zero
+// value and 1/1 both select the whole space, but only the zero value is
+// "unsharded" in the flag sense.
+func (s Shard) Enabled() bool { return s.Of >= 1 && s.Index >= 1 }
+
+// String renders the canonical "n/m" form ("-" for the zero value).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Of)
+}
+
+// Owns reports whether the item at position i (0-based, in canonical
+// presentation order) belongs to this shard: round-robin assignment,
+// position i goes to shard (i mod Of) + 1.
+func (s Shard) Owns(i int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return i%s.Of == s.Index-1
+}
+
+// Partition returns the subsequence of items owned by this shard,
+// preserving order. The result is a fresh slice; items is not modified.
+func (s Shard) Partition(items []string) []string {
+	var out []string
+	for i, it := range items {
+		if s.Owns(i) {
+			out = append(out, it)
+		}
+	}
+	return out
+}

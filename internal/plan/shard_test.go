@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"1/1":   {Index: 1, Of: 1},
+		"1/2":   {Index: 1, Of: 2},
+		"2/2":   {Index: 2, Of: 2},
+		"3/8":   {Index: 3, Of: 8},
+		" 2/4 ": {Index: 2, Of: 4}, // tolerate surrounding spaces per field
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil {
+			t.Errorf("ParseShard(%q): unexpected error %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseShard(%q) = %v, want %v", in, got, want)
+		}
+	}
+	bad := []string{"", "1", "1/", "/2", "a/2", "1/b", "0/2", "3/2", "-1/2", "1/0", "1/-3"}
+	for _, in := range bad {
+		if sh, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) = %v, want error", in, sh)
+		}
+	}
+}
+
+func TestShardString(t *testing.T) {
+	if got := (Shard{Index: 2, Of: 4}).String(); got != "2/4" {
+		t.Errorf("String() = %q, want %q", got, "2/4")
+	}
+	if got := (Shard{}).String(); got != "-" {
+		t.Errorf("zero String() = %q, want %q", got, "-")
+	}
+}
+
+func TestShardPartitionDisjointAndComplete(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for of := 1; of <= 10; of++ {
+		seen := make(map[string]int)
+		for idx := 1; idx <= of; idx++ {
+			part := (Shard{Index: idx, Of: of}).Partition(items)
+			// Each partition preserves presentation order.
+			last := -1
+			for _, it := range part {
+				pos := indexOf(items, it)
+				if pos <= last {
+					t.Fatalf("shard %d/%d partition out of order: %v", idx, of, part)
+				}
+				last = pos
+				seen[it]++
+			}
+		}
+		for _, it := range items {
+			if seen[it] != 1 {
+				t.Fatalf("of=%d: item %q owned %d times, want exactly once", of, it, seen[it])
+			}
+		}
+	}
+}
+
+func TestShardZeroOwnsEverything(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	if got := (Shard{}).Partition(items); !reflect.DeepEqual(got, items) {
+		t.Errorf("zero shard Partition = %v, want all items", got)
+	}
+}
+
+func indexOf(items []string, it string) int {
+	for i, x := range items {
+		if x == it {
+			return i
+		}
+	}
+	return -1
+}

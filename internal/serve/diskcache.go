@@ -1,0 +1,209 @@
+package serve
+
+// This file is the persistent second level of the serving path's cache
+// hierarchy (DESIGN.md §14). Completed tables are written as JSON entries
+// under an operator-supplied directory (vpserve -cache-dir), keyed by the
+// same canonical request key as the in-memory LRU, so results survive a
+// restart and can be shared between replicas pointed at a common
+// directory. Lookup order is memory, then disk, then simulation.
+//
+// Every entry is stamped with the identity of the environment that
+// produced it — the same tool/toolchain/platform fields obs.Manifest
+// records for a run. The determinism contract (DESIGN.md §9) guarantees
+// byte-identical tables only within one toolchain and architecture, so an
+// entry whose stamp does not match the reading process is stale: ignored
+// and eventually overwritten, never served.
+//
+// Writes are atomic (temp file in the same directory, then rename), which
+// is also what makes a shared directory safe: a concurrent reader sees
+// either the old entry or the new one, never a partial write. Two
+// replicas racing to write the same key both write the same bytes-worth
+// of table, so the loser of the rename race loses nothing.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"valuepred/internal/stats"
+)
+
+// DefaultDiskCacheEntries bounds the on-disk table cache when
+// Config.DiskCacheEntries is not set.
+const DefaultDiskCacheEntries = 512
+
+// diskFormatVersion is bumped whenever diskEntry's encoding changes;
+// entries written under another version are stale.
+const diskFormatVersion = 1
+
+// diskIdentity stamps an entry with the environment that produced it,
+// mirroring the fields obs.Manifest records. Comparable, so staleness is
+// one struct equality.
+type diskIdentity struct {
+	Format    int    `json:"format"`
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+}
+
+// currentIdentity is the stamp for entries written by this process.
+func currentIdentity() diskIdentity {
+	return diskIdentity{
+		Format:    diskFormatVersion,
+		Tool:      "valuepred-serve",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+}
+
+// diskEntry is the wire form of one cached table. Key is stored verbatim
+// so a hash collision (or a stray file) can never serve the wrong table.
+type diskEntry struct {
+	Identity   diskIdentity `json:"identity"`
+	Key        string       `json:"key"`
+	Experiment string       `json:"experiment"`
+	Table      *stats.Table `json:"table"`
+}
+
+// diskCache is the content-addressed on-disk store. The mutex serializes
+// this process's writes and eviction scans; cross-process safety rests on
+// the rename protocol alone.
+type diskCache struct {
+	dir     string
+	entries int
+
+	mu sync.Mutex
+}
+
+// newDiskCache creates dir if needed and probes it for writability, so a
+// misconfigured cache directory fails at construction instead of on the
+// first completed simulation.
+func newDiskCache(dir string, entries int) (*diskCache, error) {
+	if entries <= 0 {
+		entries = DefaultDiskCacheEntries
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache dir %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	os.Remove(name)
+	return &diskCache{dir: dir, entries: entries}, nil
+}
+
+// path maps a canonical request key to its entry file. Hashing keeps the
+// name filesystem-safe whatever the key contains; the stored Key field
+// disambiguates collisions.
+func (d *diskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// get loads the entry for key. hit reports a servable table; stale
+// reports an entry that exists but is unreadable or stamped by a
+// different environment, and is therefore skipped.
+func (d *diskCache) get(key string) (t *stats.Table, hit, stale bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false, true
+	}
+	if e.Identity != currentIdentity() || e.Key != key || e.Table == nil {
+		return nil, false, true
+	}
+	return e.Table, true, false
+}
+
+// put writes the entry atomically and then evicts the oldest entries
+// beyond the cache's bound, returning how many were removed.
+func (d *diskCache) put(key, experiment string, t *stats.Table) (evicted int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := json.MarshalIndent(diskEntry{
+		Identity:   currentIdentity(),
+		Key:        key,
+		Experiment: experiment,
+		Table:      t,
+	}, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("serve: disk cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("serve: disk cache write: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: disk cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: disk cache write: %w", err)
+	}
+	dst := d.path(key)
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: disk cache write: %w", err)
+	}
+	return d.evictLocked(dst), nil
+}
+
+// evictLocked removes the oldest entries (by modification time, then
+// name) beyond the cache bound, sparing keep — the file just written.
+func (d *diskCache) evictLocked(keep string) (evicted int) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	type candidate struct {
+		path string
+		mod  int64
+	}
+	var files []candidate
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, candidate{filepath.Join(d.dir, e.Name()), info.ModTime().UnixNano()})
+	}
+	if len(files) <= d.entries {
+		return 0
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files[:len(files)-d.entries] {
+		if f.path == keep {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			evicted++
+		}
+	}
+	return evicted
+}

@@ -6,17 +6,29 @@
 // The paper's lesson — exploit redundancy instead of recomputing — is
 // applied at the request level:
 //
-//   - identical concurrent requests coalesce onto a single simulation
-//     (the singleflight pattern of internal/tracestore, one layer up);
-//   - completed tables land in a bounded LRU keyed by the canonicalized
-//     run parameters, so repeated requests are O(render);
-//   - load beyond a configurable number of concurrent simulations is shed
-//     with 429 + Retry-After instead of queueing without bound;
+//   - every distinct simulation is one job in an internal/jobs store,
+//     keyed by the canonicalized run parameters; identical concurrent
+//     requests coalesce onto the same job, and the asynchronous API
+//     (POST /v1/jobs, GET /v1/jobs/{id}) exposes the same jobs to clients
+//     that would rather poll than hold a connection open;
+//   - completed tables land in a bounded in-memory LRU, and — when a
+//     cache directory is configured — in a persistent content-addressed
+//     store that survives restarts and can be shared between replicas
+//     (lookup order: memory, disk, simulate);
+//   - load beyond a configurable number of concurrent simulations is
+//     shed with 429 + Retry-After on the synchronous path, while async
+//     submissions may wait in a bounded FIFO;
 //   - every simulation runs under a context with a configurable timeout
 //     and is aborted cooperatively through experiment.RunCtx's checkpoints.
 //
+// A replica started with a shard assignment (vpserve -shard n/m) serves
+// its deterministic partition of the workload axis: normal formats render
+// the partial table, and format=shard returns the mergeable artifact that
+// vpsim -merge or POST /v1/merge recombines byte-identically to the
+// unsharded run (DESIGN.md §14).
+//
 // Parallelism is bounded at two independent levels: MaxConcurrent admits
-// requests, and every admitted experiment then executes its cells on the
+// jobs, and every admitted experiment then executes its cells on the
 // process-global internal/plan worker pool (sized by valuepred.SetWorkers
 // / vpserve's -workers flag), so total simulation concurrency is capped by
 // the pool width rather than requests × workloads.
@@ -28,7 +40,8 @@
 //
 // Observability rides on internal/obs: every request increments
 // serve.requests, coalesced followers serve.coalesced, cache outcomes
-// serve.cache_hit / serve.cache_miss, and request latency lands in the
+// serve.cache_hit / serve.cache_miss / serve.disk_cache_*, the job
+// lifecycle serve.jobs.*, and request latency lands in the
 // serve.latency_ms histogram; GET /v1/metrics renders the registry
 // snapshot. The serve package sits outside the simulation packages, so —
 // unlike them — it may read the wall clock and the recorded metrics back.
@@ -47,7 +60,9 @@ import (
 	"time"
 
 	"valuepred/internal/experiment"
+	"valuepred/internal/jobs"
 	"valuepred/internal/obs"
+	"valuepred/internal/plan"
 	"valuepred/internal/stats"
 	"valuepred/internal/tracestore"
 	"valuepred/internal/workload"
@@ -74,8 +89,9 @@ const (
 // above, the process-wide trace store, and a fresh metrics registry.
 type Config struct {
 	// MaxConcurrent is the simulation semaphore width; <= 0 means
-	// DefaultMaxConcurrent. Requests that would exceed it receive
-	// 429 Too Many Requests with a Retry-After header.
+	// DefaultMaxConcurrent. Synchronous requests that would exceed it
+	// receive 429 Too Many Requests with a Retry-After header; async
+	// submissions queue up to JobQueue deep.
 	MaxConcurrent int
 	// Timeout caps one simulation run; <= 0 means DefaultTimeout. An
 	// expired run returns 504 Gateway Timeout.
@@ -89,6 +105,27 @@ type Config struct {
 	// MaxSeeds rejects requests averaging over more seeds; <= 0 means
 	// DefaultMaxSeeds.
 	MaxSeeds int
+	// CacheDir, when non-empty, enables the persistent second-level table
+	// cache: completed tables are written there as identity-stamped JSON
+	// entries and served back — across restarts, and between replicas
+	// sharing the directory — without re-simulation. The directory is
+	// created if needed; an unwritable directory fails New.
+	CacheDir string
+	// DiskCacheEntries bounds the on-disk cache; <= 0 means
+	// DefaultDiskCacheEntries. Eviction is oldest-written-first.
+	DiskCacheEntries int
+	// JobRetention bounds how many settled jobs are kept for result
+	// fetches by id; <= 0 means jobs.DefaultRetention.
+	JobRetention int
+	// JobQueue bounds async submissions waiting for a simulation slot;
+	// <= 0 means jobs.DefaultQueueLimit. Beyond it POST /v1/jobs sheds
+	// with 429.
+	JobQueue int
+	// Shard, when enabled, restricts this replica to its deterministic
+	// partition of the workload axis (DESIGN.md §14): normal formats
+	// render the partial table, format=shard the mergeable artifact. The
+	// zero value serves unsharded.
+	Shard plan.Shard
 	// Store overrides the trace cache consulted by the simulations
 	// (nil = tracestore.Shared()). Mainly for tests needing fresh counters.
 	Store *tracestore.Store
@@ -97,7 +134,7 @@ type Config struct {
 	Registry *obs.Registry
 	// EventLog, when non-nil, receives the structured event stream:
 	// request.start/done from the middleware, simulation.start/done per
-	// flight, and cell.start/done from the plan runner — every line
+	// job, and cell.start/done from the plan runner — every line
 	// span-stamped so one request's work is grep-able end to end.
 	EventLog *obs.EventLog
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
@@ -119,31 +156,49 @@ type apiError struct {
 // Error makes apiError usable as an error inside the handler plumbing.
 func (e *apiError) Error() string { return e.Code + ": " + e.Message }
 
-// errSaturated is returned by acquire when every simulation slot is busy.
+// errSaturated is returned when a synchronous request finds every
+// simulation slot busy.
 var errSaturated = errors.New("serve: all simulation slots are busy")
 
-// flight is one in-progress simulation that coalesced requests join.
-type flight struct {
-	done       chan struct{}
-	experiment string       // experiment id, for /v1/progress
-	followers  atomic.Int64 // coalesced requests currently waiting
-	table      *stats.Table
-	err        error
+// errQueueFull is returned when an async submission finds the job queue
+// at its limit.
+var errQueueFull = errors.New("serve: the job queue is full")
+
+// jobSpec is the payload a job carries: everything execute needs to run
+// the simulation without the submitting request's connection or context.
+type jobSpec struct {
+	id    string // experiment id
+	rr    runRequest
+	span  uint64 // submitter's span, re-attached for event correlation (0 = none)
+	shard bool   // produce the shard artifact instead of a table
 }
 
 // serveMetrics are the pre-resolved registry handles for the serve.* names.
 type serveMetrics struct {
-	requests    *obs.Counter
-	coalesced   *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	simulations *obs.Counter
-	rejected    *obs.Counter
-	timeouts    *obs.Counter
-	panics      *obs.Counter
-	inflight    *obs.Gauge
-	cacheSize   *obs.Gauge
-	latency     *obs.Histogram
+	requests      *obs.Counter
+	coalesced     *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	simulations   *obs.Counter
+	rejected      *obs.Counter
+	timeouts      *obs.Counter
+	panics        *obs.Counter
+	inflight      *obs.Gauge
+	cacheSize     *obs.Gauge
+	latency       *obs.Histogram
+	jobsCreated   *obs.Counter // serve.jobs.created
+	jobsQueued    *obs.Counter // serve.jobs.queued
+	jobsCompleted *obs.Counter // serve.jobs.completed
+	jobsFailed    *obs.Counter // serve.jobs.failed
+	jobsEvicted   *obs.Counter // serve.jobs.evicted
+	jobsTracked   *obs.Gauge   // serve.jobs.tracked
+	jobsQueue     *obs.Gauge   // serve.jobs.queue_depth
+	diskHits      *obs.Counter // serve.disk_cache_hit
+	diskMisses    *obs.Counter // serve.disk_cache_miss
+	diskStale     *obs.Counter // serve.disk_cache_stale
+	diskWrites    *obs.Counter // serve.disk_cache_write
+	diskEvicts    *obs.Counter // serve.disk_cache_evict
+	diskErrors    *obs.Counter // serve.disk_cache_error
 }
 
 // latencyBounds bucket request latency in milliseconds: sub-millisecond
@@ -161,27 +216,31 @@ type Server struct {
 	events   *obs.EventLog
 	mux      *http.ServeMux
 	sem      chan struct{}
+	jobs     *jobs.Store
+	disk     *diskCache // nil when no CacheDir is configured
 
-	mu      sync.Mutex
-	flights map[string]*flight
-	cache   *tableCache
+	mu    sync.Mutex
+	cache *tableCache
 
-	// baseCtx parents every simulation context, so the simulations outlive
-	// any single coalesced client but die together on Close.
+	// baseCtx parents every simulation context, so jobs outlive any single
+	// client but die together on Close.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
 
-	// run is the simulation entry point; tests substitute it to make
-	// coalescing and saturation deterministic.
-	run func(ctx context.Context, id string, rr runRequest) (*stats.Table, error)
+	// run and runShard are the simulation entry points; tests substitute
+	// them to make coalescing and saturation deterministic.
+	run      func(ctx context.Context, id string, rr runRequest) (*stats.Table, error)
+	runShard func(ctx context.Context, id string, rr runRequest) (*experiment.ShardFile, error)
 
 	m serveMetrics
 }
 
 // New returns a Server for cfg. The trace store in use is instrumented
 // into the server's registry (tracestore.* counters appear in /v1/metrics).
-func New(cfg Config) *Server {
+// It fails when cfg.Shard is malformed or cfg.CacheDir cannot be created
+// or written.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = DefaultMaxConcurrent
 	}
@@ -196,6 +255,19 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxSeeds <= 0 {
 		cfg.MaxSeeds = DefaultMaxSeeds
+	}
+	if cfg.Shard != (plan.Shard{}) {
+		if err := cfg.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	var disk *diskCache
+	if cfg.CacheDir != "" {
+		d, err := newDiskCache(cfg.CacheDir, cfg.DiskCacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		disk = d
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -215,25 +287,40 @@ func New(cfg Config) *Server {
 		sink:       obs.New(reg, nil).WithProgress(progress).WithEventLog(cfg.EventLog),
 		mux:        http.NewServeMux(),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
-		flights:    make(map[string]*flight),
+		jobs:       jobs.NewStore(cfg.JobRetention, cfg.JobQueue),
+		disk:       disk,
 		cache:      newTableCache(cfg.CacheEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		m: serveMetrics{
-			requests:    reg.Counter("serve.requests"),
-			coalesced:   reg.Counter("serve.coalesced"),
-			cacheHits:   reg.Counter("serve.cache_hit"),
-			cacheMisses: reg.Counter("serve.cache_miss"),
-			simulations: reg.Counter("serve.simulations"),
-			rejected:    reg.Counter("serve.rejected"),
-			timeouts:    reg.Counter("serve.timeouts"),
-			panics:      reg.Counter("serve.panics"),
-			inflight:    reg.Gauge("serve.inflight"),
-			cacheSize:   reg.Gauge("serve.cache_entries"),
-			latency:     reg.Histogram("serve.latency_ms", latencyBounds),
+			requests:      reg.Counter("serve.requests"),
+			coalesced:     reg.Counter("serve.coalesced"),
+			cacheHits:     reg.Counter("serve.cache_hit"),
+			cacheMisses:   reg.Counter("serve.cache_miss"),
+			simulations:   reg.Counter("serve.simulations"),
+			rejected:      reg.Counter("serve.rejected"),
+			timeouts:      reg.Counter("serve.timeouts"),
+			panics:        reg.Counter("serve.panics"),
+			inflight:      reg.Gauge("serve.inflight"),
+			cacheSize:     reg.Gauge("serve.cache_entries"),
+			latency:       reg.Histogram("serve.latency_ms", latencyBounds),
+			jobsCreated:   reg.Counter("serve.jobs.created"),
+			jobsQueued:    reg.Counter("serve.jobs.queued"),
+			jobsCompleted: reg.Counter("serve.jobs.completed"),
+			jobsFailed:    reg.Counter("serve.jobs.failed"),
+			jobsEvicted:   reg.Counter("serve.jobs.evicted"),
+			jobsTracked:   reg.Gauge("serve.jobs.tracked"),
+			jobsQueue:     reg.Gauge("serve.jobs.queue_depth"),
+			diskHits:      reg.Counter("serve.disk_cache_hit"),
+			diskMisses:    reg.Counter("serve.disk_cache_miss"),
+			diskStale:     reg.Counter("serve.disk_cache_stale"),
+			diskWrites:    reg.Counter("serve.disk_cache_write"),
+			diskEvicts:    reg.Counter("serve.disk_cache_evict"),
+			diskErrors:    reg.Counter("serve.disk_cache_error"),
 		},
 	}
 	s.run = s.simulate
+	s.runShard = s.shardFile
 	s.store().Instrument(reg)
 	if cfg.EventLog != nil {
 		s.store().InstrumentEvents(cfg.EventLog)
@@ -243,11 +330,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	if cfg.EnablePprof {
 		s.mountPprof()
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) store() *tracestore.Store {
@@ -266,8 +358,9 @@ func (s *Server) Handler() http.Handler { return s.instrumented(s.mux) }
 
 // BeginDrain flips the server into draining mode: /healthz starts failing
 // (so load balancers stop routing here) and new simulations are refused
-// with 503, while requests already in flight — including their coalesced
-// followers — run to completion. Call it right before http.Server.Shutdown.
+// with 503, while jobs already admitted — including their coalesced
+// followers and queued successors — run to completion. Call it right
+// before http.Server.Shutdown.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain has been called.
@@ -390,6 +483,28 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	if rr.Format == "shard" {
+		if !s.cfg.Shard.Enabled() {
+			writeError(w, &apiError{
+				status:  http.StatusBadRequest,
+				Code:    "bad_params",
+				Message: "format=shard requires a sharded server (vpserve -shard n/m)",
+			})
+			return
+		}
+		f, source, err := s.shardArtifact(r.Context(), id, rr)
+		if err != nil {
+			writeError(w, s.classify(err))
+			return
+		}
+		w.Header().Set("X-Cache", source)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := f.WriteJSON(w); err != nil {
+			return // client went away mid-write
+		}
+		return
+	}
 	tab, source, err := s.table(r.Context(), id, rr)
 	if err != nil {
 		writeError(w, s.classify(err))
@@ -411,6 +526,14 @@ func (s *Server) classify(err error) *apiError {
 			status:     http.StatusTooManyRequests,
 			Code:       "saturated",
 			Message:    fmt.Sprintf("all %d simulation slots are busy; retry shortly", s.cfg.MaxConcurrent),
+			retryAfter: 1,
+		}
+	case errors.Is(err, errQueueFull):
+		s.m.rejected.Inc()
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			Code:       "queue_full",
+			Message:    "the job queue is full; retry shortly",
 			retryAfter: 1,
 		}
 	case errors.Is(err, context.DeadlineExceeded):
@@ -435,107 +558,331 @@ func (s *Server) classify(err error) *apiError {
 	}
 }
 
-// table returns the experiment table for (id, rr), serving it — in order of
-// preference — from the completed-table LRU, by coalescing onto an
-// identical in-flight simulation, or by running the simulation under the
-// server's semaphore and timeout.
+// --- the job core ---
+
+// key is the canonical cache/coalescing key for (id, rr) on this server.
+// A sharded replica suffixes its shard so that replicas sharing a cache
+// directory can never serve each other's partial tables.
+func (s *Server) key(id string, rr runRequest) string {
+	k := rr.key(id)
+	if s.cfg.Shard.Of > 1 {
+		k += "|shard=" + s.cfg.Shard.String()
+	}
+	return k
+}
+
+// table returns the experiment table for (id, rr), serving it — in order
+// of preference — from the completed-table LRU, from the persistent disk
+// cache, by coalescing onto an identical in-flight job, or by running a
+// fresh job under the server's semaphore and timeout.
 func (s *Server) table(reqCtx context.Context, id string, rr runRequest) (*stats.Table, string, error) {
-	key := rr.key(id)
+	key := s.key(id, rr)
 	s.mu.Lock()
 	if t, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
 		s.m.cacheHits.Inc()
 		return t, "hit", nil
 	}
-	if f, ok := s.flights[key]; ok {
-		s.mu.Unlock()
-		s.m.coalesced.Inc()
-		f.followers.Add(1)
-		defer f.followers.Add(-1)
-		select {
-		case <-f.done:
-			return f.table, "coalesced", f.err
-		case <-reqCtx.Done():
-			// This client gave up; the leader keeps simulating for the rest.
-			return nil, "", reqCtx.Err()
+	s.mu.Unlock()
+	// Disk is only worth probing when no identical job is in flight —
+	// otherwise coalescing is both cheaper and fresher.
+	if _, busy := s.jobs.ByKey(key); !busy {
+		if t, ok := s.diskGet(key); ok {
+			s.mu.Lock()
+			s.cache.add(key, t)
+			s.m.cacheSize.Set(int64(s.cache.len()))
+			s.mu.Unlock()
+			return t, "disk", nil
 		}
 	}
-	if s.Draining() {
-		s.mu.Unlock()
+	spec := jobSpec{id: id, rr: rr}
+	if span, ok := obs.SpanID(reqCtx); ok {
+		spec.span = span
+	}
+	res, source, err := s.obtain(reqCtx, key, spec, false, false)
+	if err != nil {
+		return nil, "", err
+	}
+	tab, ok := res.(*stats.Table)
+	if !ok || tab == nil {
 		return nil, "", &apiError{
+			status:  http.StatusInternalServerError,
+			Code:    "internal",
+			Message: "job settled without a table",
+		}
+	}
+	return tab, source, nil
+}
+
+// shardArtifact returns the mergeable shard file for (id, rr) through the
+// same job core as table. Artifacts bypass the table caches (they are a
+// different result type) but settled artifact jobs are reused, so
+// repeated fetches of the same shard do not re-simulate within the job
+// retention window.
+func (s *Server) shardArtifact(reqCtx context.Context, id string, rr runRequest) (*experiment.ShardFile, string, error) {
+	key := s.key(id, rr) + "|artifact"
+	spec := jobSpec{id: id, rr: rr, shard: true}
+	if span, ok := obs.SpanID(reqCtx); ok {
+		spec.span = span
+	}
+	res, source, err := s.obtain(reqCtx, key, spec, false, true)
+	if err != nil {
+		return nil, "", err
+	}
+	f, ok := res.(*experiment.ShardFile)
+	if !ok || f == nil {
+		return nil, "", &apiError{
+			status:  http.StatusInternalServerError,
+			Code:    "internal",
+			Message: "job settled without a shard artifact",
+		}
+	}
+	if source == "job" {
+		source = "hit"
+	}
+	return f, source, nil
+}
+
+// obtain resolves key to a settled result by joining the job behind it:
+// coalescing onto a queued or running job, starting a fresh one, or —
+// when reuseSettled is set — returning a retained done job's result
+// (source "job"). A done job found with reuseSettled unset is dropped and
+// re-run, which keeps the synchronous path's cache semantics with the
+// in-memory LRU and the disk store, not job retention (retention serves
+// the async fetch-by-id API). A failed job never poisons its key: it is
+// dropped and the run retried.
+func (s *Server) obtain(reqCtx context.Context, key string, spec jobSpec, canQueue, reuseSettled bool) (any, string, error) {
+	for {
+		if j, ok := s.jobs.ByKey(key); ok {
+			switch j.State() {
+			case jobs.StateDone:
+				if reuseSettled {
+					res, err := j.Result()
+					return res, "job", err
+				}
+				s.jobs.Drop(j)
+				s.syncJobGauges()
+				continue
+			case jobs.StateFailed:
+				s.jobs.Drop(j)
+				s.syncJobGauges()
+				continue
+			default:
+				s.m.coalesced.Inc()
+				j.Followers.Add(1)
+				res, err := s.wait(reqCtx, j)
+				j.Followers.Add(-1)
+				return res, "coalesced", err
+			}
+		}
+		j, created, err := s.startJob(key, spec, canQueue)
+		if err != nil {
+			return nil, "", err
+		}
+		if !created {
+			// Lost the creation race; loop to join the winner.
+			continue
+		}
+		res, err := s.wait(reqCtx, j)
+		return res, "miss", err
+	}
+}
+
+// wait blocks until the job settles or the caller's request context ends.
+func (s *Server) wait(reqCtx context.Context, j *jobs.Job) (any, error) {
+	select {
+	case <-j.Done():
+		return j.Result()
+	case <-reqCtx.Done():
+		// This client gave up; the job keeps running for everyone else.
+		return nil, reqCtx.Err()
+	}
+}
+
+// startJob creates and admits the job for key: it starts executing
+// immediately when a simulation slot is free, waits in the bounded FIFO
+// when canQueue is set, and is shed otherwise. The boolean reports
+// whether this call created the job; false with a nil error means another
+// submitter won the creation race.
+func (s *Server) startJob(key string, spec jobSpec, canQueue bool) (*jobs.Job, bool, error) {
+	if s.Draining() {
+		return nil, false, &apiError{
 			status:  http.StatusServiceUnavailable,
 			Code:    "draining",
 			Message: "server is draining; no new simulations are accepted",
 		}
 	}
+	j, created := s.jobs.Create(key, spec.id, spec)
+	if !created {
+		return j, false, nil
+	}
 	select {
 	case s.sem <- struct{}{}:
+		s.m.jobsCreated.Inc()
+		s.syncJobGauges()
+		s.begin(j)
 	default:
-		s.mu.Unlock()
-		return nil, "", errSaturated
+		if canQueue && s.jobs.Enqueue(j) {
+			s.m.jobsCreated.Inc()
+			s.m.jobsQueued.Inc()
+			s.syncJobGauges()
+			return j, true, nil
+		}
+		s.jobs.Drop(j)
+		if canQueue {
+			return nil, false, errQueueFull
+		}
+		return nil, false, errSaturated
 	}
-	f := &flight{done: make(chan struct{}), experiment: id}
-	s.flights[key] = f
-	s.mu.Unlock()
-	s.m.cacheMisses.Inc()
+	return j, true, nil
+}
+
+// begin marks the job running and launches its executor. The caller must
+// hold a semaphore slot, which execute passes on or releases.
+func (s *Server) begin(j *jobs.Job) {
+	spec := j.Spec().(jobSpec)
+	s.jobs.MarkRunning(j)
+	if !spec.shard {
+		s.m.cacheMisses.Inc()
+	}
 	s.m.simulations.Inc()
 	s.m.inflight.Add(1)
+	go s.execute(j)
+}
 
-	// The simulation context descends from the server, not this request:
-	// coalesced followers must not die with the leader's connection, and
-	// BeginDrain lets it finish while Close aborts it.
-	//
-	// The run is wrapped so a panicking simulation settles the flight as a
-	// structured error instead of unwinding past the cleanup below. The
-	// middleware's recover writes the leader's 500 but cannot restore server
-	// state: without this recover, one panic would leak a semaphore slot
-	// forever, keep serve.inflight inflated, and park every coalesced
-	// follower on a flight whose done channel never closes.
+// execute runs one admitted job to completion and settles it. The
+// simulation context descends from the server, not the submitting
+// request: the job outlives any client that asked for it (BeginDrain lets
+// it finish, Close aborts it). On success the table lands in the LRU and
+// the disk cache before the job settles, so waiters and cache readers
+// agree.
+func (s *Server) execute(j *jobs.Job) {
+	spec := j.Spec().(jobSpec)
+	key := j.Key()
+	var result any
+	var err error
 	func() {
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
 		defer cancel()
-		// Span propagation is value-only: the simulation context descends
-		// from baseCtx for cancellation, but re-attaching the leader's span
-		// links every cell event this flight schedules back to its request.
-		if span, ok := obs.SpanID(reqCtx); ok {
-			ctx = obs.WithSpan(ctx, span)
+		// Span propagation is value-only: the context descends from baseCtx
+		// for cancellation, but re-attaching the submitter's span links every
+		// cell event this job schedules back to its request.
+		if spec.span != 0 {
+			ctx = obs.WithSpan(ctx, spec.span)
 		}
 		simDone := s.events.Start(ctx, "serve", "simulation",
-			obs.F("experiment", id), obs.F("key", key))
+			obs.F("experiment", spec.id), obs.F("key", key))
+		// A panicking simulation settles the job as a structured error
+		// instead of unwinding the goroutine: without this recover, one
+		// panic would leak a semaphore slot forever, keep serve.inflight
+		// inflated, and park every waiter on a job that never settles.
 		defer func() {
 			if p := recover(); p != nil {
 				s.m.panics.Inc()
-				f.table, f.err = nil, &apiError{
+				result, err = nil, &apiError{
 					status:  http.StatusInternalServerError,
 					Code:    "panic",
 					Message: fmt.Sprint(p),
 				}
 			}
-			simDone(f.err == nil)
+			simDone(err == nil)
 		}()
-		f.table, f.err = s.run(ctx, id, rr)
+		if spec.shard {
+			result, err = s.runShard(ctx, spec.id, spec.rr)
+		} else {
+			result, err = s.run(ctx, spec.id, spec.rr)
+		}
 	}()
 
-	s.mu.Lock()
-	delete(s.flights, key)
-	if f.err == nil {
-		s.cache.add(key, f.table)
+	if tab, ok := result.(*stats.Table); ok && tab != nil && err == nil && !spec.shard {
+		s.mu.Lock()
+		s.cache.add(key, tab)
+		s.m.cacheSize.Set(int64(s.cache.len()))
+		s.mu.Unlock()
+		s.diskPut(key, spec.id, tab)
 	}
-	s.m.cacheSize.Set(int64(s.cache.len()))
-	s.mu.Unlock()
+	if n := s.jobs.Settle(j, result, err); n > 0 {
+		s.m.jobsEvicted.Add(uint64(n))
+	}
+	if err != nil {
+		s.m.jobsFailed.Inc()
+	} else {
+		s.m.jobsCompleted.Inc()
+	}
+	s.syncJobGauges()
 	s.m.inflight.Add(-1)
-	<-s.sem
-	close(f.done)
-	return f.table, "miss", f.err
+	// Hand the slot straight to the next queued job, if any, so the queue
+	// drains FIFO without releasing and re-acquiring the semaphore.
+	if next, ok := s.jobs.Dequeue(); ok {
+		s.syncJobGauges()
+		s.begin(next)
+	} else {
+		<-s.sem
+	}
+}
+
+// syncJobGauges refreshes the job store gauges after a mutation.
+func (s *Server) syncJobGauges() {
+	s.m.jobsTracked.Set(int64(s.jobs.Len()))
+	s.m.jobsQueue.Set(int64(s.jobs.QueueLen()))
+}
+
+// diskGet probes the persistent cache, counting the outcome.
+func (s *Server) diskGet(key string) (*stats.Table, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	t, hit, stale := s.disk.get(key)
+	switch {
+	case hit:
+		s.m.diskHits.Inc()
+	case stale:
+		s.m.diskStale.Inc()
+	default:
+		s.m.diskMisses.Inc()
+	}
+	return t, hit
+}
+
+// diskPut writes a completed table to the persistent cache, counting the
+// write and any evictions. Write failures are counted, not fatal: the
+// table was already served from memory.
+func (s *Server) diskPut(key, id string, t *stats.Table) {
+	if s.disk == nil {
+		return
+	}
+	evicted, err := s.disk.put(key, id, t)
+	if err != nil {
+		s.m.diskErrors.Inc()
+		return
+	}
+	s.m.diskWrites.Inc()
+	if evicted > 0 {
+		s.m.diskEvicts.Add(uint64(evicted))
+	}
 }
 
 // simulate is the production run function: the experiment runners with the
-// request's parameters, the server's trace store and its metrics sink.
+// request's parameters, the server's trace store and its metrics sink. On
+// a sharded replica the requested workloads are first restricted to this
+// shard's partition, so the replica simulates only the rows it owns.
 func (s *Server) simulate(ctx context.Context, id string, rr runRequest) (*stats.Table, error) {
+	workloads := rr.Workloads
+	if s.cfg.Shard.Of > 1 {
+		workloads = s.cfg.Shard.Partition(workloads)
+		if len(workloads) == 0 {
+			return nil, &apiError{
+				status: http.StatusBadRequest,
+				Code:   "empty_shard",
+				Message: fmt.Sprintf("shard %s owns none of the requested workloads; request more workloads or fetch format=shard artifacts and merge",
+					s.cfg.Shard),
+			}
+		}
+	}
 	p := experiment.Params{
 		Seed:      rr.Seed,
 		TraceLen:  rr.TraceLen,
-		Workloads: rr.Workloads,
+		Workloads: workloads,
 		Store:     s.cfg.Store,
 		Obs:       s.sink,
 	}
@@ -547,6 +894,27 @@ func (s *Server) simulate(ctx context.Context, id string, rr runRequest) (*stats
 		return experiment.RunSeedsCtx(ctx, id, p, seeds)
 	}
 	return experiment.RunCtx(ctx, id, p)
+}
+
+// shardFile is the production artifact runner behind format=shard: the
+// same parameters as simulate, run through experiment.RunShardFileCtx
+// with the server's shard assignment.
+func (s *Server) shardFile(ctx context.Context, id string, rr runRequest) (*experiment.ShardFile, error) {
+	p := experiment.Params{
+		Seed:      rr.Seed,
+		TraceLen:  rr.TraceLen,
+		Workloads: rr.Workloads,
+		Store:     s.cfg.Store,
+		Obs:       s.sink,
+	}
+	var seeds []int64
+	if rr.Seeds > 1 {
+		seeds = make([]int64, rr.Seeds)
+		for i := range seeds {
+			seeds[i] = rr.Seed + int64(i)
+		}
+	}
+	return experiment.RunShardFileCtx(ctx, []string{id}, p, seeds, s.cfg.Shard)
 }
 
 // --- request parsing and canonicalization ---
@@ -570,8 +938,9 @@ func (rr runRequest) key(id string) string {
 		id, rr.Seed, rr.TraceLen, rr.Seeds, strings.Join(rr.Workloads, ","))
 }
 
-// formats are the supported render formats, matching vpsim's output flags.
-var formats = map[string]bool{"text": true, "csv": true, "md": true, "chart": true, "json": true}
+// formats are the supported render formats: vpsim's output flags, plus
+// "shard" for the mergeable artifact a sharded replica serves.
+var formats = map[string]bool{"text": true, "csv": true, "md": true, "chart": true, "json": true, "shard": true}
 
 // parseRunRequest validates and canonicalizes the query parameters.
 func parseRunRequest(r *http.Request, cfg Config) (runRequest, *apiError) {
@@ -628,7 +997,7 @@ func parseRunRequest(r *http.Request, cfg Config) (runRequest, *apiError) {
 	}
 	if v := q.Get("format"); v != "" {
 		if !formats[v] {
-			return bad("unknown format %q (have text, csv, md, chart, json)", v)
+			return bad("unknown format %q (have text, csv, md, chart, json, shard)", v)
 		}
 		rr.Format = v
 	}

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sort"
 
+	"valuepred/internal/jobs"
 	"valuepred/internal/obs"
 )
 
@@ -25,23 +26,24 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// flightProgress is one in-flight simulation in the /v1/progress reply.
+// flightProgress is one running job in the /v1/progress reply. The field
+// name predates the job store: a "flight" is simply a job whose
+// simulation is currently executing.
 type flightProgress struct {
 	// Key is the coalescing key: the experiment id plus canonical
 	// parameters.
 	Key string `json:"key"`
 	// Experiment is the experiment id, matching an entry of
-	// progress.experiments while the flight's cells run.
+	// progress.experiments while the job's cells run.
 	Experiment string `json:"experiment"`
-	// Followers counts coalesced requests currently waiting on this
-	// flight (the leader is not counted).
+	// Followers counts coalesced requests currently waiting on this job
+	// (the submitter is not counted).
 	Followers int64 `json:"followers"`
 }
 
 // progressReply is the GET /v1/progress body: the cell-grid aggregator's
-// snapshot plus the in-flight simulations, so a follower polling the
-// endpoint can see both its flight and the per-experiment cell counts
-// behind it.
+// snapshot plus the running jobs, so a follower polling the endpoint can
+// see both its job and the per-experiment cell counts behind it.
 type progressReply struct {
 	Progress obs.ProgressSnapshot `json:"progress"`
 	Flights  []flightProgress     `json:"flights"`
@@ -51,16 +53,20 @@ type progressReply struct {
 // mutex-guarded copies, no simulation state touched — so it is safe to
 // poll at any rate while grids run.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	flights := make([]flightProgress, 0, len(s.flights))
-	for key, f := range s.flights {
+	var flights []flightProgress
+	for _, st := range s.jobs.List() {
+		if st.State != jobs.StateRunning {
+			continue
+		}
 		flights = append(flights, flightProgress{
-			Key:        key,
-			Experiment: f.experiment,
-			Followers:  f.followers.Load(),
+			Key:        st.Key,
+			Experiment: st.Experiment,
+			Followers:  st.Followers,
 		})
 	}
-	s.mu.Unlock()
+	if flights == nil {
+		flights = []flightProgress{}
+	}
 	sort.Slice(flights, func(i, j int) bool { return flights[i].Key < flights[j].Key })
 	writeJSON(w, http.StatusOK, progressReply{
 		Progress: s.progress.Snapshot(),

@@ -1,13 +1,19 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of cmd/vpserve.
 #
-# Builds vpserve and vpsim, boots the server on a free port, checks the
-# health endpoint, fetches one small figure over HTTP and diffs it against
-# the vpsim rendering of the same run (the service's byte-identity
-# contract), scrapes the Prometheus exposition at /metrics, polls
-# /v1/progress while an uncached run is in flight, then shuts the server
-# down with SIGTERM and requires a clean graceful-drain exit. Run via
-# `make serve-smoke`.
+# Builds vpserve and vpsim, boots the server on a free port with a
+# persistent cache directory, checks the health endpoint, fetches one
+# small figure over HTTP and diffs it against the vpsim rendering of the
+# same run (the service's byte-identity contract), exercises the async
+# job API (submit, poll between disconnected connections, fetch the
+# result by id), merges two vpsim shard artifacts through both `vpsim
+# -merge` and POST /v1/merge and diffs each against the unsharded run,
+# scrapes the Prometheus exposition at /metrics, asserts the serve.jobs.*
+# and serve.disk_cache_* counter families, polls /v1/progress while an
+# uncached run is in flight, then shuts the server down with SIGTERM and
+# requires a clean graceful-drain exit. A second server booted on the
+# same cache directory must serve the first server's table from disk
+# (X-Cache: disk, no re-simulation). Run via `make serve-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -31,27 +37,54 @@ echo "serve-smoke: building vpserve and vpsim"
 $GO build -o "$workdir/vpserve" ./cmd/vpserve
 $GO build -o "$workdir/vpsim" ./cmd/vpsim
 
-"$workdir/vpserve" -addr 127.0.0.1:0 2>"$workdir/server.log" &
-server_pid=$!
-
-# The server prints "vpserve: listening on http://HOST:PORT" once the
-# listener is up; poll the log for it rather than guessing a port.
-base=""
-for _ in $(seq 1 100); do
-    base=$(sed -n 's/^vpserve: listening on \(http:\/\/.*\)$/\1/p' "$workdir/server.log")
-    [ -n "$base" ] && break
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "serve-smoke: server died during startup" >&2
-        cat "$workdir/server.log" >&2
+# boot_server LOGFILE [extra vpserve flags...] — starts a server on a free
+# port and sets $base/$server_pid. The server prints "vpserve: listening
+# on http://HOST:PORT" once the listener is up; poll the log for it
+# rather than guessing a port.
+boot_server() {
+    boot_log=$1
+    shift
+    "$workdir/vpserve" -addr 127.0.0.1:0 "$@" 2>"$boot_log" &
+    server_pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/^vpserve: listening on \(http:\/\/.*\)$/\1/p' "$boot_log")
+        [ -n "$base" ] && break
+        if ! kill -0 "$server_pid" 2>/dev/null; then
+            echo "serve-smoke: server died during startup" >&2
+            cat "$boot_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$base" ]; then
+        echo "serve-smoke: server never reported its address" >&2
+        cat "$boot_log" >&2
         exit 1
     fi
-    sleep 0.1
-done
-if [ -z "$base" ]; then
-    echo "serve-smoke: server never reported its address" >&2
-    cat "$workdir/server.log" >&2
-    exit 1
-fi
+}
+
+# stop_server LOGFILE — SIGTERM the current server and require the
+# graceful-drain confirmation.
+stop_server() {
+    stop_log=$1
+    kill -TERM "$server_pid"
+    drain_ok=1
+    wait "$server_pid" || drain_ok=0
+    server_pid=""
+    if [ "$drain_ok" != 1 ]; then
+        echo "serve-smoke: server did not exit cleanly on SIGTERM" >&2
+        cat "$stop_log" >&2
+        exit 1
+    fi
+    grep -q 'vpserve: drained' "$stop_log" || {
+        echo "serve-smoke: missing drain confirmation in server log" >&2
+        cat "$stop_log" >&2
+        exit 1
+    }
+}
+
+boot_server "$workdir/server.log" -cache-dir "$workdir/cache"
 echo "serve-smoke: server up at $base"
 
 curl -fsS "$base/healthz" >/dev/null
@@ -69,11 +102,78 @@ if ! diff -u "$workdir/local.txt" "$workdir/served.txt"; then
 fi
 echo "serve-smoke: served table is byte-identical to vpsim output"
 
-curl -fsS "$base/v1/metrics" | grep -q 'counter serve\.requests' || {
-    echo "serve-smoke: metrics endpoint missing serve.requests" >&2
+# Async job API: submit a distinct (uncached) run, then poll and fetch the
+# result over fresh connections — between each curl no client is attached,
+# so a completing job IS the client-disconnect-survival contract.
+job_len=$((LEN / 2))
+echo "serve-smoke: submitting an async job ($ID len=$job_len)"
+job_json=$(curl -fsS -X POST "$base/v1/jobs?experiment=$ID&tracelen=$job_len&workloads=$WORKLOADS")
+job_id=$(printf '%s\n' "$job_json" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+if [ -z "$job_id" ]; then
+    echo "serve-smoke: job submission returned no id: $job_json" >&2
     exit 1
-}
-echo "serve-smoke: metrics ok"
+fi
+job_done=0
+for _ in $(seq 1 300); do
+    poll_json=$(curl -fsS "$base/v1/jobs/$job_id")
+    case $poll_json in
+    *'"state": "done"'*)
+        job_done=1
+        break
+        ;;
+    *'"state": "failed"'*)
+        echo "serve-smoke: job failed: $poll_json" >&2
+        exit 1
+        ;;
+    esac
+    sleep 0.1
+done
+if [ "$job_done" != 1 ]; then
+    echo "serve-smoke: job never settled: $poll_json" >&2
+    exit 1
+fi
+curl -fsS "$base/v1/jobs/$job_id/result" >"$workdir/job-result.txt"
+"$workdir/vpsim" -experiment "$ID" -len "$job_len" -workloads "$WORKLOADS" -o "$workdir/job-local.txt"
+if ! diff -u "$workdir/job-local.txt" "$workdir/job-result.txt"; then
+    echo "serve-smoke: async job result differs from the vpsim rendering" >&2
+    exit 1
+fi
+echo "serve-smoke: async job submit/poll/fetch ok (survives disconnected clients)"
+
+# Sharding: two vpsim shard artifacts must merge byte-identically to the
+# unsharded run — through vpsim -merge and through POST /v1/merge alike.
+echo "serve-smoke: running $ID as two shards and merging"
+"$workdir/vpsim" -experiment "$ID" -len "$LEN" -workloads "$WORKLOADS" -shard 1/2 -o "$workdir/p1.json"
+"$workdir/vpsim" -experiment "$ID" -len "$LEN" -workloads "$WORKLOADS" -shard 2/2 -o "$workdir/p2.json"
+"$workdir/vpsim" -merge "$workdir/p1.json" "$workdir/p2.json" >"$workdir/merged-cli.txt"
+if ! diff -u "$workdir/local.txt" "$workdir/merged-cli.txt"; then
+    echo "serve-smoke: vpsim -merge output differs from the unsharded run" >&2
+    exit 1
+fi
+{
+    printf '['
+    cat "$workdir/p1.json"
+    printf ','
+    cat "$workdir/p2.json"
+    printf ']'
+} >"$workdir/merge-body.json"
+curl -fsS -X POST --data-binary @"$workdir/merge-body.json" "$base/v1/merge" >"$workdir/merged-http.txt"
+if ! diff -u "$workdir/local.txt" "$workdir/merged-http.txt"; then
+    echo "serve-smoke: POST /v1/merge output differs from the unsharded run" >&2
+    exit 1
+fi
+echo "serve-smoke: two-shard merge is byte-identical to the unsharded run"
+
+curl -fsS "$base/v1/metrics" >"$workdir/metrics.txt"
+for want in 'counter serve\.requests' 'counter serve\.jobs\.created' \
+    'counter serve\.jobs\.completed' 'counter serve\.disk_cache_write'; do
+    grep -q "$want" "$workdir/metrics.txt" || {
+        echo "serve-smoke: metrics endpoint missing $want" >&2
+        cat "$workdir/metrics.txt" >&2
+        exit 1
+    }
+done
+echo "serve-smoke: metrics ok (serve.jobs.* and serve.disk_cache_* present)"
 
 # Prometheus exposition: GET /metrics must carry the request counter as
 # vp_serve_requests_total, and every non-comment line must parse as
@@ -124,19 +224,32 @@ if [ "$progress_ok" != 1 ]; then
 fi
 echo "serve-smoke: live progress ok"
 
-kill -TERM "$server_pid"
-drain_ok=1
-wait "$server_pid" || drain_ok=0
-server_pid=""
-if [ "$drain_ok" != 1 ]; then
-    echo "serve-smoke: server did not exit cleanly on SIGTERM" >&2
-    cat "$workdir/server.log" >&2
-    exit 1
-fi
-grep -q 'vpserve: drained' "$workdir/server.log" || {
-    echo "serve-smoke: missing drain confirmation in server log" >&2
-    cat "$workdir/server.log" >&2
+stop_server "$workdir/server.log"
+echo "serve-smoke: graceful SIGTERM drain ok"
+
+# Warm restart: a fresh server pointed at the same cache directory serves
+# the first server's table from disk — no re-simulation.
+echo "serve-smoke: restarting on the warm cache directory"
+boot_server "$workdir/server2.log" -cache-dir "$workdir/cache"
+curl -fsS -D "$workdir/warm-headers.txt" \
+    "$base/v1/experiments/$ID?tracelen=$LEN&workloads=$WORKLOADS" >"$workdir/warm.txt"
+grep -qi '^X-Cache: disk' "$workdir/warm-headers.txt" || {
+    echo "serve-smoke: restarted server did not serve from disk:" >&2
+    cat "$workdir/warm-headers.txt" >&2
     exit 1
 }
-echo "serve-smoke: graceful SIGTERM drain ok"
+if ! diff -u "$workdir/served.txt" "$workdir/warm.txt"; then
+    echo "serve-smoke: disk-served table differs from the original" >&2
+    exit 1
+fi
+curl -fsS "$base/v1/metrics" | grep -q 'counter serve\.disk_cache_hit 0' && {
+    echo "serve-smoke: disk_cache_hit counter did not increment" >&2
+    exit 1
+}
+curl -fsS "$base/v1/metrics" | grep -q 'counter serve\.disk_cache_hit' || {
+    echo "serve-smoke: restarted server missing disk_cache_hit counter" >&2
+    exit 1
+}
+echo "serve-smoke: warm restart served from disk (X-Cache: disk, byte-identical)"
+stop_server "$workdir/server2.log"
 echo "serve-smoke: PASS"

@@ -1,6 +1,7 @@
 package valuepred
 
 import (
+	"runtime/debug"
 	"strings"
 	"testing"
 
@@ -89,6 +90,12 @@ func TestStreamAllocBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// A GC cycle during the measurement clears the sync.Pools and charges
+	// the repopulation allocations to this budget — noise proportional to
+	// how much heap earlier tests in this binary churned, not a streaming
+	// regression. Pause the collector for the measurement; a per-record
+	// allocation still blows the budget instantly with GC off.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	run() // warm the chunk pool and the machine scratch pools
 	const budget = 100
 	if got := testing.AllocsPerRun(5, run); got > budget {

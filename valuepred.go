@@ -466,3 +466,54 @@ func RunExperimentSeedsCtx(ctx context.Context, id string, p Params, seeds []int
 	}
 	return t, nil
 }
+
+// --- sharded runs ---
+
+// Shard identifies one partition of a sharded run: partition Index of Of,
+// 1-based, assigned round-robin over the presentation-ordered workload
+// list (vpsim/vpserve's -shard n/m flag).
+type Shard = plan.Shard
+
+// ShardFile is the artifact a shard run exports (vpsim -shard): the
+// partition identity, the canonical run parameters, and per-experiment,
+// per-seed partial tables plus the raw aggregate-note contributions.
+type ShardFile = experiment.ShardFile
+
+// MergedShardTable is one experiment's table recombined from a complete
+// shard set, byte-identical to the unsharded run.
+type MergedShardTable = experiment.MergedTable
+
+// ParseShard parses the "n/m" shard flag syntax.
+func ParseShard(s string) (Shard, error) { return plan.ParseShard(s) }
+
+// RunExperimentShards runs one shard's partition of each experiment id —
+// one partial run per seed — and returns the artifact to merge with the
+// other shards' files. ctx may be nil for an uncancellable run.
+func RunExperimentShards(ctx context.Context, ids []string, p Params, seeds []int64, sh Shard) (*ShardFile, error) {
+	f, err := experiment.RunShardFileCtx(ctx, ids, p, seeds, sh)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return f, nil
+}
+
+// MergeShardFiles recombines a complete shard set (all m files of an m-way
+// run, any order) into one table per experiment. The merge replays the
+// unsharded arithmetic in the unsharded order, so the rendered tables are
+// byte-identical to a run without -shard.
+func MergeShardFiles(files []*ShardFile) ([]MergedShardTable, error) {
+	out, err := experiment.MergeShardFiles(files)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeShardFile reads one shard artifact written by ShardFile.WriteJSON.
+func DecodeShardFile(r io.Reader) (*ShardFile, error) {
+	f, err := experiment.DecodeShardFile(r)
+	if err != nil {
+		return nil, fmt.Errorf("valuepred: %w", err)
+	}
+	return f, nil
+}
